@@ -1,0 +1,18 @@
+(* Runs the plain DPLL reference solver on a captured copy of the
+   encoding's clause set, for the CDCL-vs-DPLL ablation. *)
+
+module P = Provenance
+
+let first_member_time closure =
+  let encoding = P.Encode.make ~capture:true closure in
+  match P.Encode.captured_clauses encoding with
+  | None -> None
+  | Some clauses ->
+    let nvars = Sat.Solver.num_vars (P.Encode.solver encoding) in
+    let result, t =
+      Harness.time (fun () ->
+          Sat.Reference.dpll_limited ~max_decisions:2_000_000 ~nvars clauses)
+    in
+    (match result with
+    | `Cut -> None
+    | `Sat _ | `Unsat -> Some t)

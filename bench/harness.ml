@@ -1,0 +1,203 @@
+(* Shared machinery for the benchmark harness: timing, box-plot
+   statistics, scenario registry, and the per-tuple measurement
+   pipeline used by every figure. *)
+
+module D = Datalog
+module P = Provenance
+module W = Workloads
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+(* --- Parameters (set from the command line) --------------------------- *)
+
+type config = {
+  mutable scale : float;
+  mutable tuples : int;        (* answer tuples per database *)
+  mutable member_limit : int;  (* enumeration cap per tuple (paper: 10K) *)
+  mutable tuple_timeout : float; (* seconds per tuple (paper: 5 min) *)
+  mutable conflict_budget : int; (* solver budget per member *)
+  mutable max_fill : int;      (* vertex-elimination fill cap (paper: OOM) *)
+  mutable seed : int;
+}
+
+let config =
+  {
+    scale = 1.0;
+    tuples = 5;
+    member_limit = 500;
+    tuple_timeout = 30.0;
+    conflict_budget = 400_000;
+    max_fill = 400_000;
+    seed = 20240614;
+  }
+
+(* --- Scenario registry ------------------------------------------------- *)
+
+let transclosure () = W.Transclosure.scenario ~scale:config.scale ()
+let doctors () = W.Doctors.scenarios ~scale:config.scale ()
+let galen () = W.Galen.scenario ~scale:config.scale ()
+let andersen () = W.Andersen.scenario ~scale:config.scale ()
+let csda () = W.Csda.scenario ~scale:config.scale ()
+
+let all_scenarios () =
+  (transclosure () :: doctors ()) @ [ galen (); andersen (); csda () ]
+
+(* --- Statistics --------------------------------------------------------- *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else begin
+    let idx = p *. float_of_int (n - 1) in
+    let lo = int_of_float (floor idx) and hi = int_of_float (ceil idx) in
+    let frac = idx -. floor idx in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+type box = {
+  n : int;
+  min_v : float;
+  q1 : float;
+  median : float;
+  q3 : float;
+  max_v : float;
+}
+
+let box_of_list values =
+  let sorted = Array.of_list values in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  if n = 0 then { n = 0; min_v = nan; q1 = nan; median = nan; q3 = nan; max_v = nan }
+  else
+    {
+      n;
+      min_v = sorted.(0);
+      q1 = percentile sorted 0.25;
+      median = percentile sorted 0.5;
+      q3 = percentile sorted 0.75;
+      max_v = sorted.(n - 1);
+    }
+
+let ms v = v *. 1000.0
+
+let pp_time ppf seconds =
+  if seconds < 0.001 then Format.fprintf ppf "%.0fµs" (seconds *. 1e6)
+  else if seconds < 1.0 then Format.fprintf ppf "%.1fms" (seconds *. 1e3)
+  else Format.fprintf ppf "%.2fs" seconds
+
+let time_str seconds = Format.asprintf "%a" pp_time seconds
+
+(* --- Per-tuple pipeline measurements ----------------------------------- *)
+
+type build_measurement = {
+  goal : D.Fact.t;
+  closure_time : float;
+  encode_time : float;
+  closure_nodes : int;
+  closure_hyperedges : int;
+  formula_vars : int;
+  formula_clauses : int;
+  elim_width : int;
+  too_large : bool;
+}
+
+type enum_status =
+  | Exhausted
+  | Hit_limit
+  | Timed_out
+  | Gave_up
+
+let status_str = function
+  | Exhausted -> "all"
+  | Hit_limit -> "limit"
+  | Timed_out -> "timeout"
+  | Gave_up -> "gave-up"
+
+type enum_measurement = {
+  members : int;
+  delays : float list; (* seconds per member *)
+  status : enum_status;
+  total_time : float;
+}
+
+(* Materialize the model once per database; individual tuples then time
+   the backward closure + the formula construction, which together
+   correspond to the paper's "downward closure + Boolean formula" bars
+   (the model materialization is reported separately, as DLV's
+   evaluation was in the paper's setup). *)
+let measure_build program model db goal =
+  let closure, closure_time =
+    time (fun () -> P.Closure.build_with_model program ~model db goal)
+  in
+  match
+    time (fun () ->
+        try Some (P.Encode.make ~max_fill:config.max_fill closure)
+        with P.Encode.Too_large _ -> None)
+  with
+  | Some encoding, encode_time ->
+    let st = P.Encode.stats encoding in
+    ( Some (closure, encoding),
+      {
+        goal;
+        closure_time;
+        encode_time;
+        closure_nodes = P.Closure.num_nodes closure;
+        closure_hyperedges = P.Closure.num_hyperedges closure;
+        formula_vars = st.P.Encode.variables;
+        formula_clauses = st.P.Encode.clauses;
+        elim_width = st.P.Encode.elimination_width;
+        too_large = false;
+      } )
+  | None, encode_time ->
+    ( None,
+      {
+        goal;
+        closure_time;
+        encode_time;
+        closure_nodes = P.Closure.num_nodes closure;
+        closure_hyperedges = P.Closure.num_hyperedges closure;
+        formula_vars = 0;
+        formula_clauses = 0;
+        elim_width = 0;
+        too_large = true;
+      } )
+
+let measure_enumeration ?(limit = config.member_limit) closure encoding =
+  let enumeration = P.Enumerate.of_parts closure encoding in
+  let deadline = Unix.gettimeofday () +. config.tuple_timeout in
+  let delays = ref [] in
+  let status = ref Hit_limit in
+  let start = Unix.gettimeofday () in
+  (try
+     for _ = 1 to limit do
+       let t0 = Unix.gettimeofday () in
+       (match P.Enumerate.next_limited ~conflict_budget:config.conflict_budget enumeration with
+       | `Member _ -> delays := (Unix.gettimeofday () -. t0) :: !delays
+       | `Exhausted ->
+         status := Exhausted;
+         raise Exit
+       | `Gave_up ->
+         status := Gave_up;
+         raise Exit);
+       if Unix.gettimeofday () > deadline then begin
+         status := Timed_out;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  {
+    members = List.length !delays;
+    delays = List.rev !delays;
+    status = !status;
+    total_time = Unix.gettimeofday () -. start;
+  }
+
+(* --- Output ------------------------------------------------------------- *)
+
+let header title =
+  Printf.printf "\n%s\n%s\n%!" title (String.make (String.length title) '=')
+
+let row fmt = Printf.ksprintf (fun s -> print_string s; flush stdout) fmt

@@ -1,0 +1,79 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (Table 1, Figures 1–5) plus the hardness and
+   ablation studies. See EXPERIMENTS.md for the paper-vs-measured
+   discussion.
+
+   Usage:
+     dune exec bench/main.exe                       # everything
+     dune exec bench/main.exe -- fig1 fig2          # selected experiments
+     dune exec bench/main.exe -- --scale 0.2 all    # scaled-down databases
+     dune exec bench/main.exe -- --tuples 3 --limit 500 fig4
+*)
+
+let usage () =
+  print_endline
+    "usage: main.exe [--scale F] [--tuples N] [--limit N] [--timeout S] \
+     [--budget N] [--seed N] [table1|fig1|fig2|fig3|fig4|fig5|hardness|ablation|combined|micro|all]...";
+  exit 1
+
+let () =
+  let experiments = ref [] in
+  let rec parse args =
+    match args with
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+      Harness.config.Harness.scale <- float_of_string v;
+      parse rest
+    | "--tuples" :: v :: rest ->
+      Harness.config.Harness.tuples <- int_of_string v;
+      parse rest
+    | "--limit" :: v :: rest ->
+      Harness.config.Harness.member_limit <- int_of_string v;
+      parse rest
+    | "--timeout" :: v :: rest ->
+      Harness.config.Harness.tuple_timeout <- float_of_string v;
+      parse rest
+    | "--budget" :: v :: rest ->
+      Harness.config.Harness.conflict_budget <- int_of_string v;
+      parse rest
+    | "--seed" :: v :: rest ->
+      Harness.config.Harness.seed <- int_of_string v;
+      parse rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | name :: rest ->
+      experiments := name :: !experiments;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let experiments =
+    match List.rev !experiments with [] -> [ "all" ] | list -> list
+  in
+  let run = function
+    | "table1" -> Experiments.table1 ()
+    | "fig1" -> Experiments.fig1 ()
+    | "fig2" -> Experiments.fig2 ()
+    | "fig3" -> Experiments.fig3 ()
+    | "fig4" -> Experiments.fig4 ()
+    | "fig5" -> Experiments.fig5 ()
+    | "hardness" -> Experiments.hardness ()
+    | "ablation" -> Experiments.ablation ()
+    | "combined" -> Experiments.combined ()
+    | "micro" -> Micro.run ()
+    | "all" ->
+      Experiments.table1 ();
+      Experiments.fig3 ();  (* includes Figure 1 (the Andersen rows) *)
+      Experiments.fig4 ();  (* includes Figure 2 (the Andersen rows) *)
+      Experiments.fig5 ();
+      Experiments.hardness ();
+      Experiments.ablation ();
+      Experiments.combined ();
+      Micro.run ()
+    | other ->
+      Printf.eprintf "unknown experiment %S\n" other;
+      usage ()
+  in
+  Printf.printf
+    "why-provenance benchmark harness (scale %.2f, %d tuples/db, %d member cap, %.0fs tuple timeout)\n"
+    Harness.config.Harness.scale Harness.config.Harness.tuples
+    Harness.config.Harness.member_limit Harness.config.Harness.tuple_timeout;
+  List.iter run experiments

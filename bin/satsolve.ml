@@ -1,0 +1,46 @@
+(* satsolve — standalone DIMACS front end to the CDCL substrate.
+
+   Usage: satsolve FILE.cnf
+   Prints "s SATISFIABLE" with a "v ..." model line, or "s UNSATISFIABLE",
+   in the conventional SAT-competition output format, plus solver
+   statistics on stderr. *)
+
+let () =
+  match Sys.argv with
+  | [| _; path |] ->
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let src = really_input_string ic n in
+    close_in ic;
+    let nvars, clauses = Sat.Dimacs.of_string src in
+    let solver = Sat.Solver.create () in
+    Sat.Solver.ensure_vars solver nvars;
+    List.iter (Sat.Solver.add_clause solver) clauses;
+    let result = Sat.Solver.solve solver in
+    let stats = Sat.Solver.stats solver in
+    Printf.eprintf
+      "c conflicts=%d decisions=%d propagations=%d restarts=%d deleted=%d\n"
+      stats.Sat.Solver.conflicts stats.Sat.Solver.decisions
+      stats.Sat.Solver.propagations stats.Sat.Solver.restarts
+      stats.Sat.Solver.deleted_clauses;
+    (match result with
+    | Sat.Solver.Sat ->
+      print_endline "s SATISFIABLE";
+      let model = Sat.Solver.model solver in
+      let buffer = Buffer.create 256 in
+      Buffer.add_string buffer "v";
+      Array.iteri
+        (fun v value ->
+          if v < nvars then
+            Buffer.add_string buffer
+              (Printf.sprintf " %d" (if value then v + 1 else -(v + 1))))
+        model;
+      Buffer.add_string buffer " 0";
+      print_endline (Buffer.contents buffer);
+      exit 10
+    | Sat.Solver.Unsat ->
+      print_endline "s UNSATISFIABLE";
+      exit 20)
+  | _ ->
+    prerr_endline "usage: satsolve FILE.cnf";
+    exit 2

@@ -1,0 +1,285 @@
+(* whyprov — command-line front end to the why-provenance pipeline.
+
+   A program file mixes rules and facts in the textual Datalog syntax:
+
+     % transitive closure
+     tc(X,Y) :- edge(X,Y).
+     tc(X,Z) :- tc(X,Y), edge(Y,Z).
+     edge(a,b). edge(b,c).
+
+   Commands:
+     whyprov answers  FILE -q tc
+     whyprov explain  FILE -q tc -t a,c [--limit N] [--tc-acyclicity]
+     whyprov check    FILE -q tc -t a,c -s 'edge(a,b). edge(b,c).' [--variant un]
+     whyprov tree     FILE -q tc -t a,c [--dot]
+     whyprov stats    FILE -q tc -t a,c
+*)
+
+module D = Datalog
+module P = Provenance
+
+let load_file path =
+  let rules, facts = D.Parser.split (D.Parser.parse_file path) in
+  (D.Program.make rules, D.Database.of_list facts)
+
+let parse_tuple s = String.split_on_char ',' s |> List.map String.trim
+
+let parse_subset s =
+  let clauses = D.Parser.parse_string s in
+  List.fold_left
+    (fun acc clause ->
+      match clause with
+      | D.Parser.Clause_fact f -> D.Fact.Set.add f acc
+      | D.Parser.Clause_rule _ -> failwith "subset must contain only facts")
+    D.Fact.Set.empty clauses
+
+(* --- Commands --------------------------------------------------------- *)
+
+let cmd_answers path query_pred =
+  let program, db = load_file path in
+  let q = P.Explain.query program query_pred in
+  let answers = P.Explain.answers q db in
+  List.iter (fun f -> print_endline (D.Fact.to_string f)) answers;
+  Printf.printf "%% %d answer(s)\n" (List.length answers)
+
+let cmd_explain path query_pred tuple limit use_tc smallest witness =
+  let program, db = load_file path in
+  let q = P.Explain.query program query_pred in
+  let fact = P.Explain.goal q (parse_tuple tuple) in
+  if witness then begin
+    let enumeration = P.Enumerate.create program db fact in
+    let rec loop i =
+      if i <= limit then
+        match P.Enumerate.next_with_witness enumeration with
+        | None -> ()
+        | Some (member, dag) ->
+          Format.printf "%2d. %a@." i D.Fact.pp_set member;
+          Format.printf "%a@.@." P.Proof_tree.pp (P.Proof_dag.unravel dag);
+          loop (i + 1)
+    in
+    loop 1
+  end
+  else if use_tc || smallest then begin
+    let acyclicity =
+      if use_tc then P.Encode.Transitive_closure else P.Encode.Vertex_elimination
+    in
+    let enumeration =
+      P.Enumerate.create ~acyclicity ~smallest_first:smallest program db fact
+    in
+    let members = P.Enumerate.to_list ~limit enumeration in
+    List.iteri
+      (fun i m -> Format.printf "%2d. %a@." (i + 1) D.Fact.pp_set m)
+      members
+  end
+  else begin
+    let explanation = P.Explain.explain ~limit q db fact in
+    Format.printf "%a@." P.Explain.pp_explanation explanation
+  end
+
+let cmd_check path query_pred tuple subset variant =
+  let program, db = load_file path in
+  let q = P.Explain.query program query_pred in
+  let fact = P.Explain.goal q (parse_tuple tuple) in
+  let candidate = parse_subset subset in
+  let variant =
+    match variant with
+    | "any" -> `Any
+    | "un" -> `Unambiguous
+    | "nr" -> `Non_recursive
+    | "md" -> `Minimal_depth
+    | other -> failwith (Printf.sprintf "unknown variant %S (any|un|nr|md)" other)
+  in
+  let is_member = P.Explain.why_provenance ~variant q db fact candidate in
+  print_endline (if is_member then "MEMBER" else "NOT A MEMBER");
+  exit (if is_member then 0 else 1)
+
+let cmd_tree path query_pred tuple dot =
+  let program, db = load_file path in
+  let q = P.Explain.query program query_pred in
+  let fact = P.Explain.goal q (parse_tuple tuple) in
+  match P.Explain.proof_tree q db fact with
+  | None ->
+    prerr_endline "not derivable";
+    exit 1
+  | Some tree ->
+    if dot then print_string (P.Proof_tree.to_dot tree)
+    else Format.printf "%a@." P.Proof_tree.pp tree
+
+let cmd_stats path query_pred tuple =
+  let program, db = load_file path in
+  let q = P.Explain.query program query_pred in
+  let fact = P.Explain.goal q (parse_tuple tuple) in
+  let closure = P.Closure.build program db fact in
+  Format.printf "%a@." P.Closure.pp_stats closure;
+  let encoding = P.Encode.make closure in
+  let st = P.Encode.stats encoding in
+  Printf.printf
+    "formula: %d variables, %d clauses, %d edges, elimination width %d, %d fill edges\n"
+    st.P.Encode.variables st.P.Encode.clauses st.P.Encode.edges
+    st.P.Encode.elimination_width st.P.Encode.fill_edges;
+  Printf.printf "query class: %s\n" (D.Program.query_class program)
+
+let cmd_repl path =
+  let program, db = load_file path in
+  Format.printf "whyprov repl — %d rules, %d facts. Type 'help' for commands.@."
+    (List.length (D.Program.rules program))
+    (D.Database.size db);
+  let model = lazy (D.Eval.seminaive program db) in
+  let help () =
+    print_string
+      "  p(a,b).        explain the ground fact p(a,b)\n\
+      \  p(a,X).        list matching answers (magic-sets evaluation)\n\
+      \  tree p(a,b).   print one minimal-depth proof tree\n\
+      \  count p(a,b).  size of why_UN (up to 10000)\n\
+      \  stats          model statistics\n\
+      \  help | quit\n"
+  in
+  let handle_atom ?(mode = `Explain) (atom : D.Atom.t) =
+    if D.Atom.is_ground atom then begin
+      let fact = D.Atom.to_fact atom in
+      if not (D.Database.mem (Lazy.force model) fact) then
+        Format.printf "not derivable.@."
+      else
+        match mode with
+        | `Tree -> (
+          let trace = P.Trace.record program db in
+          match P.Trace.proof_tree trace fact with
+          | Some tree -> Format.printf "%a@." P.Proof_tree.pp tree
+          | None -> Format.printf "not derivable.@.")
+        | `Count ->
+          let e = P.Enumerate.create program db fact in
+          let n = List.length (P.Enumerate.to_list ~limit:10_000 e) in
+          Format.printf "%d member(s)%s@." n (if n = 10_000 then " (capped)" else "")
+        | `Explain ->
+          let e = P.Enumerate.create program db fact in
+          List.iteri
+            (fun i m -> Format.printf "%2d. %a@." (i + 1) D.Fact.pp_set m)
+            (P.Enumerate.to_list ~limit:20 e)
+    end
+    else if D.Program.is_idb program atom.D.Atom.pred then begin
+      let magic = D.Magic.transform program atom in
+      let answers = D.Magic.answers magic db in
+      List.iter (fun f -> Format.printf "%a@." D.Fact.pp f) answers;
+      Format.printf "%% %d answer(s)@." (List.length answers)
+    end
+    else begin
+      (* Extensional pattern: scan the database. *)
+      let count = ref 0 in
+      D.Database.iter_pred db atom.D.Atom.pred (fun f ->
+          let matches =
+            Array.for_all2
+              (fun t c ->
+                match t with D.Term.Const c' -> D.Symbol.equal c c' | D.Term.Var _ -> true)
+              atom.D.Atom.args (D.Fact.args f)
+          in
+          if matches then begin
+            incr count;
+            Format.printf "%a@." D.Fact.pp f
+          end);
+      Format.printf "%% %d fact(s)@." !count
+    end
+  in
+  let rec loop () =
+    print_string "whyprov> ";
+    match read_line () with
+    | exception End_of_file -> ()
+    | "quit" | "exit" -> ()
+    | "help" -> help (); loop ()
+    | "stats" ->
+      let m = Lazy.force model in
+      Format.printf "model: %d facts over %d predicates@." (D.Database.size m)
+        (List.length (D.Database.preds m));
+      List.iter
+        (fun p ->
+          Format.printf "  %a: %d@." D.Symbol.pp p (D.Database.count_pred m p))
+        (D.Database.preds m);
+      loop ()
+    | "" -> loop ()
+    | line -> (
+      let mode, body =
+        if String.length line > 5 && String.sub line 0 5 = "tree " then
+          (`Tree, String.sub line 5 (String.length line - 5))
+        else if String.length line > 6 && String.sub line 0 6 = "count " then
+          (`Count, String.sub line 6 (String.length line - 6))
+        else (`Explain, line)
+      in
+      let body = String.trim body in
+      let body = if String.length body > 0 && body.[String.length body - 1] = '.' then body else body ^ "." in
+      (match D.Parser.parse_string ("dummy :- " ^ body) with
+      | [ D.Parser.Clause_rule rule ] -> (
+        match D.Rule.body rule with
+        | [ atom ] -> (try handle_atom ~mode atom with
+          | Invalid_argument msg | Failure msg -> Format.printf "error: %s@." msg)
+        | _ -> Format.printf "error: enter a single atom@.")
+      | _ | (exception D.Parser.Error _) ->
+        (match D.Parser.parse_string body with
+        | [ D.Parser.Clause_fact f ] ->
+          (try handle_atom ~mode (D.Atom.of_fact f) with
+           | Invalid_argument msg | Failure msg -> Format.printf "error: %s@." msg)
+        | _ -> Format.printf "error: could not parse %S@." body
+        | exception D.Parser.Error msg -> Format.printf "parse error: %s@." msg));
+      loop ())
+  in
+  loop ()
+
+(* --- Cmdliner glue ----------------------------------------------------- *)
+
+open Cmdliner
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Datalog program + facts file.")
+
+let query_arg =
+  Arg.(required & opt (some string) None & info [ "q"; "query" ] ~docv:"PRED" ~doc:"Answer predicate.")
+
+let tuple_arg =
+  Arg.(required & opt (some string) None & info [ "t"; "tuple" ] ~docv:"C1,C2,…" ~doc:"Answer tuple (comma-separated constants).")
+
+let limit_arg =
+  Arg.(value & opt int 100 & info [ "limit" ] ~docv:"N" ~doc:"Maximum number of members to enumerate.")
+
+let tc_arg =
+  Arg.(value & flag & info [ "tc-acyclicity" ] ~doc:"Use the transitive-closure acyclicity encoding instead of vertex elimination.")
+
+let smallest_arg =
+  Arg.(value & flag & info [ "smallest" ] ~doc:"Enumerate members in order of non-decreasing size (totalizer encoding).")
+
+let witness_arg =
+  Arg.(value & flag & info [ "witness" ] ~doc:"Print an unambiguous proof tree witnessing each member.")
+
+let subset_arg =
+  Arg.(required & opt (some string) None & info [ "s"; "subset" ] ~docv:"FACTS" ~doc:"Candidate subset, as 'f(a). g(b).'.")
+
+let variant_arg =
+  Arg.(value & opt string "any" & info [ "variant" ] ~docv:"V" ~doc:"Proof-tree class: any, un, nr or md.")
+
+let dot_arg = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz.")
+
+let answers_cmd =
+  Cmd.v (Cmd.info "answers" ~doc:"Evaluate the query and print all answers")
+    Term.(const cmd_answers $ file_arg $ query_arg)
+
+let explain_cmd =
+  Cmd.v (Cmd.info "explain" ~doc:"Enumerate the why-provenance (unambiguous proof trees) of an answer")
+    Term.(const cmd_explain $ file_arg $ query_arg $ tuple_arg $ limit_arg $ tc_arg $ smallest_arg $ witness_arg)
+
+let check_cmd =
+  Cmd.v (Cmd.info "check" ~doc:"Decide membership of a subset in the why-provenance")
+    Term.(const cmd_check $ file_arg $ query_arg $ tuple_arg $ subset_arg $ variant_arg)
+
+let tree_cmd =
+  Cmd.v (Cmd.info "tree" ~doc:"Print one (minimal-depth) proof tree of an answer")
+    Term.(const cmd_tree $ file_arg $ query_arg $ tuple_arg $ dot_arg)
+
+let repl_cmd =
+  Cmd.v (Cmd.info "repl" ~doc:"Interactive query/explain loop over a program file")
+    Term.(const cmd_repl $ file_arg)
+
+let stats_cmd =
+  Cmd.v (Cmd.info "stats" ~doc:"Print downward-closure and formula statistics")
+    Term.(const cmd_stats $ file_arg $ query_arg $ tuple_arg)
+
+let () =
+  let doc = "why-provenance for Datalog queries (PODS 2024 reproduction)" in
+  let info = Cmd.info "whyprov" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ answers_cmd; explain_cmd; check_cmd; tree_cmd; stats_cmd; repl_cmd ]))

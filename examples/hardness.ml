@@ -1,0 +1,67 @@
+(* The NP-hardness reduction made concrete: solving 3SAT by asking a
+   why-provenance membership question (Theorem 3 / Lemma 17 of the
+   paper), and Hamiltonian cycle through why_NR membership decided by
+   the SAT pipeline (Theorem 19 / Lemma 24).
+
+   Run with: dune exec examples/hardness.exe *)
+
+module D = Datalog
+module P = Provenance
+
+let pp_clause ppf clause =
+  Format.fprintf ppf "(%s)"
+    (String.concat " ∨ "
+       (List.map
+          (fun l ->
+            if l > 0 then Printf.sprintf "x%d" l else Printf.sprintf "¬x%d" (-l))
+          clause))
+
+let decide_formula ~nvars cnf =
+  let instance = P.Reductions.of_3sat ~nvars cnf in
+  P.Membership.why instance.P.Reductions.program instance.P.Reductions.database
+    instance.P.Reductions.goal instance.P.Reductions.candidate
+
+let () =
+  (* A satisfiable formula … *)
+  let sat_formula = [ [ 1; 2; 3 ]; [ -1; 2; -3 ]; [ 1; -2; 3 ] ] in
+  Format.printf "φ₁ = %a@."
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ∧ ") pp_clause)
+    sat_formula;
+  Format.printf "  D_φ ∈ why((v1), D_φ, Q)?  %b  (so φ₁ is satisfiable)@.@."
+    (decide_formula ~nvars:3 sat_formula);
+
+  (* … and an unsatisfiable one (all eight sign patterns over 3 vars). *)
+  let unsat_formula =
+    [ [ 1; 2; 3 ]; [ 1; 2; -3 ]; [ 1; -2; 3 ]; [ 1; -2; -3 ];
+      [ -1; 2; 3 ]; [ -1; 2; -3 ]; [ -1; -2; 3 ]; [ -1; -2; -3 ] ]
+  in
+  Format.printf "φ₂ = all eight 3-clauses over x1,x2,x3@.";
+  Format.printf "  D_φ ∈ why((v1), D_φ, Q)?  %b  (so φ₂ is unsatisfiable)@.@."
+    (decide_formula ~nvars:3 unsat_formula);
+
+  (* The reduction's Datalog query is fixed, linear and recursive: *)
+  let instance = P.Reductions.of_3sat ~nvars:3 sat_formula in
+  Format.printf "The fixed query of the reduction (%s):@.%a@.@."
+    (D.Program.query_class instance.P.Reductions.program)
+    D.Program.pp instance.P.Reductions.program;
+
+  (* Hamiltonian cycles via why_NR = why_UN (the query is linear), so
+     the Section-5 SAT pipeline decides an NP-hard problem. *)
+  let pentagon = [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 0) ] in
+  let with_chord = (0, 2) :: pentagon in
+  List.iter
+    (fun (name, nodes, edges) ->
+      let instance = P.Reductions.of_ham_cycle ~nodes edges in
+      let has_cycle =
+        P.Membership.why_un instance.P.Reductions.program
+          instance.P.Reductions.database instance.P.Reductions.goal
+          instance.P.Reductions.candidate
+      in
+      let oracle = P.Reductions.ham_cycle_brute_force ~nodes edges in
+      Format.printf "%s: Hamiltonian cycle? %b (brute force agrees: %b)@." name
+        has_cycle (has_cycle = oracle))
+    [
+      ("pentagon cycle", 5, pentagon);
+      ("pentagon + chord", 5, with_chord);
+      ("path (no cycle)", 4, [ (0, 1); (1, 2); (2, 3) ]);
+    ]

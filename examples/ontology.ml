@@ -1,0 +1,85 @@
+(* Explaining ontology subsumptions (Galen-style EL reasoning).
+
+   A small medical ontology in the EL fragment: class hierarchy,
+   conjunctions and existential restrictions. The EL completion rules
+   derive subClassOf facts; the why-provenance answers "which axioms
+   caused this subsumption?" — the classical axiom-pinpointing problem.
+
+   Run with: dune exec examples/ontology.exe *)
+
+module D = Datalog
+module P = Provenance
+
+let source = {|
+  % EL completion rules (ELK-style)
+  sco(X,X) :- class(X).
+  sco(X,Y) :- isa(X,Y).
+  sco(X,Z) :- sco(X,Y), isa(Y,Z).
+  sco(X,Y) :- sco(X,C), conj(C,Y,Z).
+  sco(X,Z) :- sco(X,C), conj(C,Y,Z).
+  sco(X,C) :- sco(X,Y), sco(X,Z), conj(C,Y,Z).
+  sr(X,R,Y) :- sco(X,E), exists(E,R,Y).
+  sco(X,E) :- sr(X,R,Y), sco(Y,Z), exists(E,R,Z).
+
+  % Ontology: a tiny slice of a medical terminology.
+  class(appendicitis). class(inflammation). class(disease).
+  class(appendix). class(bodypart). class(severe_inflammation).
+  class(inflammatory_disease).
+
+  % appendicitis ⊑ inflammation_of_appendix-ish axioms:
+  isa(appendicitis, severe_inflammation).
+  isa(severe_inflammation, inflammation).
+  isa(inflammation, disease).
+  isa(appendix, bodypart).
+
+  % inflammatory_disease ≡ inflammation ⊓ disease
+  conj(inflammatory_disease, inflammation, disease).
+
+  % located ∃: appendicitis ⊑ ∃locatedIn.appendix, and
+  % has_location = ∃locatedIn.bodypart
+  exists(loc_appendix, locatedin, appendix).
+  exists(has_location, locatedin, bodypart).
+  isa(appendicitis, loc_appendix).
+|}
+
+let () =
+  let program, facts = D.Parser.program_of_string source in
+  let db = D.Database.of_list facts in
+  let q = P.Explain.query program "sco" in
+
+  (* All derived subsumptions of appendicitis. *)
+  Format.printf "Derived super-classes of appendicitis:@.";
+  List.iter
+    (fun f ->
+      match D.Fact.args f with
+      | [| x; _ |] when D.Symbol.name x = "appendicitis" ->
+        Format.printf "  %a@." D.Fact.pp f
+      | _ -> ())
+    (P.Explain.answers q db);
+
+  (* Why is appendicitis an inflammatory disease? The explanation must
+     combine the chain to inflammation, the chain to disease, and the
+     conjunction axiom. *)
+  let goal = P.Explain.goal q [ "appendicitis"; "inflammatory_disease" ] in
+  Format.printf "@.Why sco(appendicitis, inflammatory_disease)?@.";
+  Format.printf "%a@." P.Explain.pp_explanation (P.Explain.explain q db goal);
+
+  (* Why does appendicitis have a location? Uses the existential rules. *)
+  let goal2 = P.Explain.goal q [ "appendicitis"; "has_location" ] in
+  Format.printf "@.Why sco(appendicitis, has_location)?@.";
+  Format.printf "%a@." P.Explain.pp_explanation (P.Explain.explain q db goal2);
+  (match P.Explain.proof_tree q db goal2 with
+  | Some tree -> Format.printf "@.Proof tree:@.%a@." P.Proof_tree.pp tree
+  | None -> assert false);
+
+  (* Membership check: is the conjunction axiom really needed? A
+     candidate without it is not a member. *)
+  let full_explanation =
+    List.hd (P.Explain.explain q db goal).P.Explain.members
+  in
+  let conj_axiom =
+    D.Fact.of_strings "conj" [ "inflammatory_disease"; "inflammation"; "disease" ]
+  in
+  let without = D.Fact.Set.remove conj_axiom full_explanation in
+  Format.printf "@.explanation without the conjunction axiom still valid? %b@."
+    (P.Explain.why_provenance ~variant:`Unambiguous q db goal without)

@@ -1,0 +1,92 @@
+open Datalog
+
+type hyperedge = {
+  head : Fact.t;
+  rule : Rule.t;
+  body : Fact.t list;
+  targets : Fact.t list;
+}
+
+type t = {
+  program : Program.t;
+  root : Fact.t;
+  edges_by_head : hyperedge list Fact.Table.t;
+  node_table : unit Fact.Table.t;
+  node_list : Fact.t list;
+  db_in_closure : Fact.t list;
+  derivable : bool;
+  n_edges : int;
+}
+
+let build_with_model program ~model db root_fact =
+  let edges_by_head : hyperedge list Fact.Table.t = Fact.Table.create 1024 in
+  let visited : unit Fact.Table.t = Fact.Table.create 1024 in
+  let queue = Queue.create () in
+  let n_edges = ref 0 in
+  Fact.Table.add visited root_fact ();
+  Queue.add root_fact queue;
+  while not (Queue.is_empty queue) do
+    let fact = Queue.pop queue in
+    if Program.is_idb program (Fact.pred fact) then begin
+      let ds = Eval.derivations program model fact in
+      let edges =
+        List.map
+          (fun (rule, body) ->
+            let targets = List.sort_uniq Fact.compare body in
+            { head = fact; rule; body; targets })
+          ds
+      in
+      n_edges := !n_edges + List.length edges;
+      Fact.Table.replace edges_by_head fact edges;
+      List.iter
+        (fun edge ->
+          List.iter
+            (fun target ->
+              if not (Fact.Table.mem visited target) then begin
+                Fact.Table.add visited target ();
+                Queue.add target queue
+              end)
+            edge.targets)
+        edges
+    end
+  done;
+  let node_list =
+    Fact.Table.fold (fun f () acc -> f :: acc) visited []
+    |> List.sort Fact.compare
+  in
+  let db_in_closure = List.filter (Database.mem db) node_list in
+  {
+    program;
+    root = root_fact;
+    edges_by_head;
+    node_table = visited;
+    node_list;
+    db_in_closure;
+    derivable = Database.mem model root_fact;
+    n_edges = !n_edges;
+  }
+
+let build program db root_fact =
+  let model = Eval.seminaive program db in
+  build_with_model program ~model db root_fact
+
+let root t = t.root
+let program t = t.program
+let nodes t = t.node_list
+let num_nodes t = List.length t.node_list
+let num_hyperedges t = t.n_edges
+
+let hyperedges_of t fact =
+  Option.value ~default:[] (Fact.Table.find_opt t.edges_by_head fact)
+
+let iter_hyperedges t f =
+  Fact.Table.iter (fun _ edges -> List.iter f edges) t.edges_by_head
+
+let db_facts t = t.db_in_closure
+let mem_node t fact = Fact.Table.mem t.node_table fact
+let derivable t = t.derivable
+
+let pp_stats ppf t =
+  Format.fprintf ppf "closure of %a: %d nodes, %d hyperedges, %d db facts"
+    Fact.pp t.root (num_nodes t) t.n_edges
+    (List.length t.db_in_closure)

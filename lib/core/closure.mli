@@ -1,0 +1,57 @@
+(** Graph of rule instances and downward closure (Definition 42 of the
+    paper, after Elhalawati, Krötzsch & Mennicke 2022).
+
+    The downward closure of a fact [α] w.r.t. [D] and [Σ] is the
+    sub-hypergraph of the graph of rule instances containing [α] and
+    everything reachable from it. It "contains" every compressed DAG of
+    [α], and is the structure the Boolean encoding searches in.
+
+    The paper computes it by evaluating a rewritten query [Q↓] over a
+    rewritten database [D↓] with DLV; here we obtain exactly the same
+    hyperedges directly: a backward breadth-first traversal from [α]
+    that asks the engine for all rule instances deriving each reached
+    intensional fact within the materialized model. *)
+
+open Datalog
+
+type hyperedge = {
+  head : Fact.t;
+  rule : Rule.t;
+  body : Fact.t list;   (** ground body, in body-atom order *)
+  targets : Fact.t list; (** the set [T]: deduplicated, sorted body facts *)
+}
+
+type t
+
+val build : Program.t -> Database.t -> Fact.t -> t
+(** [build program db root] materializes the model and computes the
+    downward closure of [root]. If [root ∉ Σ(D)], the closure contains
+    the root node only and no hyperedges. *)
+
+val build_with_model : Program.t -> model:Database.t -> Database.t -> Fact.t -> t
+(** Same, reusing an already materialized model. *)
+
+val root : t -> Fact.t
+val program : t -> Program.t
+
+val nodes : t -> Fact.t list
+(** All facts reachable from the root (including the root), sorted. *)
+
+val num_nodes : t -> int
+val num_hyperedges : t -> int
+
+val hyperedges_of : t -> Fact.t -> hyperedge list
+(** Hyperedges whose head is the given fact (empty for database facts). *)
+
+val iter_hyperedges : t -> (hyperedge -> unit) -> unit
+
+val db_facts : t -> Fact.t list
+(** The set [S]: database facts occurring in the closure, sorted. These
+    are the only facts that can appear in a member of [why_UN]. *)
+
+val mem_node : t -> Fact.t -> bool
+
+val derivable : t -> bool
+(** [true] iff the root is actually derivable ([root ∈ Σ(D)]). *)
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,147 @@
+open Datalog
+
+module Set_of_sets = Set.Make (struct
+  type t = Fact.Set.t
+  let compare = Fact.Set.compare
+end)
+
+type t = {
+  closure : Closure.t;
+  encoding : Encode.t;
+  mutable exhausted : bool;
+  mutable produced_list : Fact.Set.t list; (* newest first *)
+  mutable produced_set : Set_of_sets.t;
+  (* Smallest-first mode: totalizer outputs over the x variables of the
+     database facts, and the current cardinality bound. *)
+  card_outputs : Sat.Lit.t array option;
+  mutable card_bound : int;
+}
+
+let of_parts ?(smallest_first = false) closure encoding =
+  let card_outputs =
+    if not smallest_first then None
+    else begin
+      let solver = Encode.solver encoding in
+      let lits =
+        Array.to_list (Encode.db_facts encoding)
+        |> List.filter_map (fun f ->
+               Option.map Sat.Lit.pos (Encode.fact_var encoding f))
+      in
+      Some (Sat.Cardinality.outputs solver lits)
+    end
+  in
+  {
+    closure;
+    encoding;
+    exhausted = not (Closure.derivable closure);
+    produced_list = [];
+    produced_set = Set_of_sets.empty;
+    card_outputs;
+    card_bound = 0;
+  }
+
+let of_closure ?acyclicity ?max_fill ?smallest_first closure =
+  of_parts ?smallest_first closure (Encode.make ?acyclicity ?max_fill closure)
+
+let create ?acyclicity ?max_fill ?smallest_first program db fact =
+  of_closure ?acyclicity ?max_fill ?smallest_first (Closure.build program db fact)
+
+let record_member ?(want_witness = false) t solver =
+  let model = Sat.Solver.model solver in
+  let member = Encode.db_of_model t.encoding model in
+  let witness =
+    if want_witness then Some (Encode.witness_dag t.encoding model) else None
+  in
+  Sat.Solver.add_clause solver (Encode.blocking_clause t.encoding member);
+  t.produced_list <- member :: t.produced_list;
+  t.produced_set <- Set_of_sets.add member t.produced_set;
+  (member, witness)
+
+let next t =
+  if t.exhausted then None
+  else begin
+    let solver = Encode.solver t.encoding in
+    match t.card_outputs with
+    | None -> (
+      match Sat.Solver.solve solver with
+      | Sat.Solver.Unsat ->
+        t.exhausted <- true;
+        None
+      | Sat.Solver.Sat -> Some (fst (record_member t solver)))
+    | Some outputs ->
+      (* Raise the cardinality bound only when no member of the current
+         size remains, so members come out in non-decreasing support
+         size. *)
+      let n = Array.length outputs in
+      let rec attempt () =
+        let assumptions =
+          if t.card_bound < n then [ Sat.Lit.negate outputs.(t.card_bound) ]
+          else []
+        in
+        match Sat.Solver.solve ~assumptions solver with
+        | Sat.Solver.Sat -> Some (fst (record_member t solver))
+        | Sat.Solver.Unsat ->
+          if t.card_bound >= n then begin
+            t.exhausted <- true;
+            None
+          end
+          else begin
+            t.card_bound <- t.card_bound + 1;
+            attempt ()
+          end
+      in
+      attempt ()
+  end
+
+let next_limited ~conflict_budget t =
+  if t.exhausted then `Exhausted
+  else begin
+    let solver = Encode.solver t.encoding in
+    match Sat.Solver.solve_limited ~conflict_budget solver with
+    | None -> `Gave_up
+    | Some Sat.Solver.Unsat ->
+      t.exhausted <- true;
+      `Exhausted
+    | Some Sat.Solver.Sat -> `Member (fst (record_member t solver))
+  end
+
+let to_list ?limit t =
+  let rec loop acc k =
+    match limit with
+    | Some l when k >= l -> List.rev acc
+    | _ -> (
+      match next t with
+      | None -> List.rev acc
+      | Some member -> loop (member :: acc) (k + 1))
+  in
+  loop [] 0
+
+let count ?limit t = List.length (to_list ?limit t)
+
+let closure t = t.closure
+let encoding t = t.encoding
+let produced t = List.length t.produced_list
+
+let member t candidate =
+  if Set_of_sets.mem candidate t.produced_set then true
+  else
+    match Encode.assumptions_for t.encoding candidate with
+    | None -> false
+    | Some assumptions -> (
+      match Sat.Solver.solve ~assumptions (Encode.solver t.encoding) with
+      | Sat.Solver.Sat -> true
+      | Sat.Solver.Unsat -> false)
+
+let next_with_witness t =
+  if t.exhausted then None
+  else begin
+    let solver = Encode.solver t.encoding in
+    match Sat.Solver.solve solver with
+    | Sat.Solver.Unsat ->
+      t.exhausted <- true;
+      None
+    | Sat.Solver.Sat -> (
+      match record_member ~want_witness:true t solver with
+      | member, Some dag -> Some (member, dag)
+      | _, None -> assert false)
+  end

@@ -1,0 +1,476 @@
+open Datalog
+
+type variant =
+  | Any
+  | Non_recursive
+  | Unambiguous
+  | Minimal_depth
+
+(* Symbolic terms are plain integers (canonical variables); in the final
+   CQs, distinct variables denote distinct constants (the all-different
+   conjunct of ψ), so symbolic label equality is fact equality. *)
+
+type cq = {
+  head : int array;
+  atoms : (Symbol.t * int array) list; (* sorted, deduplicated *)
+  depth : int;                         (* min depth of a generating tree *)
+}
+
+type t = {
+  answer_pred : Symbol.t;
+  arity : int;
+  variant : variant;
+  cqs : cq list;
+}
+
+(* --- Substitutions over symbolic variables --------------------------- *)
+
+module Subst = Map.Make (Int)
+
+let rec resolve subst v =
+  match Subst.find_opt v subst with
+  | Some v' when v' <> v -> resolve subst v'
+  | _ -> v
+
+let unify_vars subst v1 v2 =
+  let r1 = resolve subst v1 and r2 = resolve subst v2 in
+  if r1 = r2 then subst else Subst.add (max r1 r2) (min r1 r2) subst
+
+(* --- Symbolic Q-trees -------------------------------------------------- *)
+
+type symbolic_atom = Symbol.t * int array
+
+type stree = {
+  label : symbolic_atom;
+  children : stree list; (* [] for database-fact leaves *)
+}
+
+let rec stree_map f tree =
+  { label = f tree.label; children = List.map (stree_map f) tree.children }
+
+let rec stree_depth tree =
+  match tree.children with
+  | [] -> 0
+  | children -> 1 + List.fold_left (fun acc c -> max acc (stree_depth c)) 0 children
+
+let rec stree_leaves tree =
+  match tree.children with
+  | [] -> [ tree.label ]
+  | children -> List.concat_map stree_leaves children
+
+(* Isomorphism-invariant comparison (children as multisets). *)
+let rec stree_compare t1 t2 =
+  let c = compare t1.label t2.label in
+  if c <> 0 then c
+  else begin
+    let sort children = List.sort stree_compare children in
+    let rec lists l1 l2 =
+      match l1, l2 with
+      | [], [] -> 0
+      | [], _ :: _ -> -1
+      | _ :: _, [] -> 1
+      | x :: r1, y :: r2 ->
+        let c = stree_compare x y in
+        if c <> 0 then c else lists r1 r2
+    in
+    lists (sort t1.children) (sort t2.children)
+  end
+
+let stree_non_recursive tree =
+  let rec walk path t =
+    (not (List.mem t.label path))
+    && List.for_all (walk (t.label :: path)) t.children
+  in
+  walk [] tree
+
+let stree_unambiguous tree =
+  let by_label : (symbolic_atom, stree list) Hashtbl.t = Hashtbl.create 16 in
+  let rec collect t =
+    let existing = Option.value ~default:[] (Hashtbl.find_opt by_label t.label) in
+    Hashtbl.replace by_label t.label (t :: existing);
+    List.iter collect t.children
+  in
+  collect tree;
+  Hashtbl.fold
+    (fun _ trees acc ->
+      acc
+      &&
+      match trees with
+      | [] | [ _ ] -> true
+      | first :: rest -> List.for_all (fun t -> stree_compare first t = 0) rest)
+    by_label true
+
+(* --- Expansion ---------------------------------------------------------- *)
+
+let expand program answer_pred arity =
+  (* Backtracking expansion producing symbolic proof trees, with the
+     most-general unifier threaded through; terminates because the
+     program is non-recursive. *)
+  let fresh = ref arity in
+  let head_vars = Array.init arity (fun i -> i) in
+  let rename_rule rule =
+    let mapping = Hashtbl.create 8 in
+    let var_of v =
+      match Hashtbl.find_opt mapping v with
+      | Some id -> id
+      | None ->
+        let id = !fresh in
+        incr fresh;
+        Hashtbl.add mapping v id;
+        id
+    in
+    let convert (atom : Atom.t) : symbolic_atom =
+      ( atom.Atom.pred,
+        Array.map
+          (function
+            | Term.Var v -> var_of v
+            | Term.Const _ ->
+              invalid_arg "Fo_rewrite: rules must be constant-free")
+          atom.Atom.args )
+    in
+    (convert (Rule.head rule), List.map convert (Rule.body rule))
+  in
+  let rec expand_atom subst ((pred, args) as atom) =
+    if Program.is_edb program pred then [ (subst, { label = atom; children = [] }) ]
+    else
+      List.concat_map
+        (fun rule ->
+          let (_, hargs), body = rename_rule rule in
+          let subst' =
+            Array.to_list (Array.mapi (fun i a -> (a, hargs.(i))) args)
+            |> List.fold_left (fun s (a, h) -> unify_vars s a h) subst
+          in
+          expand_list subst' body
+          |> List.map (fun (s, children) -> (s, { label = atom; children })))
+        (Program.rules_for program pred)
+  and expand_list subst = function
+    | [] -> [ (subst, []) ]
+    | atom :: rest ->
+      List.concat_map
+        (fun (s, tree) ->
+          List.map (fun (s', trees) -> (s', tree :: trees)) (expand_list s rest))
+        (expand_atom subst atom)
+  in
+  expand_atom Subst.empty (answer_pred, head_vars)
+  |> List.map (fun (subst, tree) ->
+         stree_map
+           (fun (pred, args) -> (pred, Array.map (resolve subst) args))
+           tree)
+
+(* --- Quotients ----------------------------------------------------------- *)
+
+let vars_of_tree tree =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  let note v =
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.add seen v ();
+      order := v :: !order
+    end
+  in
+  let rec walk t =
+    Array.iter note (snd t.label);
+    List.iter walk t.children
+  in
+  walk tree;
+  List.rev !order
+
+(* All set partitions of [vars], as lists of blocks. *)
+let partitions vars =
+  let rec go blocks = function
+    | [] -> [ blocks ]
+    | v :: rest ->
+      let with_existing =
+        List.concat_map
+          (fun block ->
+            let blocks' =
+              List.map (fun b -> if b == block then v :: b else b) blocks
+            in
+            go blocks' rest)
+          blocks
+      in
+      let with_new = go ([ v ] :: blocks) rest in
+      with_new @ with_existing
+  in
+  go [] vars
+
+let normalize_cq head atoms depth =
+  (* Rename variables to 0.. in order of first occurrence over the head
+     then the (sorted) atom list; iterate to a deterministic form. *)
+  let rename head atoms =
+    let mapping = Hashtbl.create 16 in
+    let next = ref 0 in
+    let var_of v =
+      match Hashtbl.find_opt mapping v with
+      | Some id -> id
+      | None ->
+        let id = !next in
+        incr next;
+        Hashtbl.add mapping v id;
+        id
+    in
+    let head' = Array.map var_of head in
+    let atoms' = List.map (fun (p, args) -> (p, Array.map var_of args)) atoms in
+    (head', List.sort_uniq compare atoms')
+  in
+  let rec fixpoint head atoms n =
+    let head', atoms' = rename head atoms in
+    if n = 0 || (head' = head && atoms' = atoms) then (head', atoms')
+    else fixpoint head' atoms' (n - 1)
+  in
+  let head, atoms = fixpoint head (List.sort_uniq compare atoms) 4 in
+  { head; atoms; depth }
+
+(* --- CQ isomorphism -------------------------------------------------------- *)
+
+let isomorphic cq1 cq2 =
+  Array.length cq1.head = Array.length cq2.head
+  && List.length cq1.atoms = List.length cq2.atoms
+  &&
+  let exception No in
+  try
+    let fwd = Hashtbl.create 16 and bwd = Hashtbl.create 16 in
+    let bind v1 v2 =
+      match Hashtbl.find_opt fwd v1 with
+      | Some v2' -> if v2' <> v2 then raise No
+      | None -> (
+        match Hashtbl.find_opt bwd v2 with
+        | Some _ -> raise No
+        | None ->
+          Hashtbl.add fwd v1 v2;
+          Hashtbl.add bwd v2 v1)
+    in
+    let unbind v1 v2 =
+      match Hashtbl.find_opt fwd v1 with
+      | Some v2' when v2' = v2 ->
+        Hashtbl.remove fwd v1;
+        Hashtbl.remove bwd v2
+      | _ -> ()
+    in
+    Array.iteri (fun i v1 -> bind v1 cq2.head.(i)) cq1.head;
+    let atoms2 = Array.of_list cq2.atoms in
+    let used = Array.make (Array.length atoms2) false in
+    let rec match_atoms = function
+      | [] -> true
+      | (pred, args) :: rest ->
+        let try_atom j =
+          if used.(j) then false
+          else begin
+            let pred2, args2 = atoms2.(j) in
+            if (not (Symbol.equal pred pred2))
+               || Array.length args <> Array.length args2
+            then false
+            else begin
+              let added = ref [] in
+              let ok =
+                try
+                  Array.iteri
+                    (fun i v1 ->
+                      let v2 = args2.(i) in
+                      let before = Hashtbl.mem fwd v1 in
+                      bind v1 v2;
+                      if not before then added := (v1, v2) :: !added)
+                    args;
+                  true
+                with No -> false
+              in
+              if ok then begin
+                used.(j) <- true;
+                if match_atoms rest then true
+                else begin
+                  used.(j) <- false;
+                  List.iter (fun (v1, v2) -> unbind v1 v2) !added;
+                  false
+                end
+              end
+              else begin
+                List.iter (fun (v1, v2) -> unbind v1 v2) !added;
+                false
+              end
+            end
+          end
+        in
+        let rec try_all j = j < Array.length atoms2 && (try_atom j || try_all (j + 1)) in
+        try_all 0
+    in
+    match_atoms cq1.atoms
+  with No -> false
+
+(* --- Compilation ------------------------------------------------------------ *)
+
+let class_predicate = function
+  | Any | Minimal_depth -> fun _ -> true
+  | Non_recursive -> stree_non_recursive
+  | Unambiguous -> stree_unambiguous
+
+let compile ?(variant = Any) program answer_pred =
+  if Program.is_recursive program then
+    invalid_arg "Fo_rewrite.compile: program is recursive";
+  if not (Program.is_idb program answer_pred) then
+    invalid_arg "Fo_rewrite.compile: answer predicate is not intensional";
+  let arity = Program.arity program answer_pred in
+  let base_trees = expand program answer_pred arity in
+  let keep = class_predicate variant in
+  let all_quotients =
+    List.concat_map
+      (fun tree ->
+        let vars = vars_of_tree tree in
+        partitions vars
+        |> List.filter_map (fun blocks ->
+               let repr = Hashtbl.create 16 in
+               List.iter
+                 (fun block ->
+                   let canonical = List.fold_left min max_int block in
+                   List.iter (fun v -> Hashtbl.add repr v canonical) block)
+                 blocks;
+               let renamed =
+                 stree_map
+                   (fun (p, args) ->
+                     (p, Array.map (fun v -> Hashtbl.find repr v) args))
+                   tree
+               in
+               if keep renamed then begin
+                 let head = snd renamed.label in
+                 Some (normalize_cq head (stree_leaves renamed) (stree_depth renamed))
+               end
+               else None))
+      base_trees
+  in
+  (* Structural dedup (keeping the smallest generating depth per shape),
+     then isomorphism dedup. *)
+  let by_shape = Hashtbl.create 64 in
+  List.iter
+    (fun cq ->
+      let key = (cq.head, cq.atoms) in
+      match Hashtbl.find_opt by_shape key with
+      | Some d when d <= cq.depth -> ()
+      | _ -> Hashtbl.replace by_shape key cq.depth)
+    all_quotients;
+  let structural =
+    Hashtbl.fold
+      (fun (head, atoms) depth acc -> { head; atoms; depth } :: acc)
+      by_shape []
+    |> List.sort compare
+  in
+  let deduped =
+    List.fold_left
+      (fun acc cq ->
+        match List.find_opt (isomorphic cq) acc with
+        | Some existing when existing.depth <= cq.depth -> acc
+        | Some existing ->
+          { existing with depth = cq.depth }
+          :: List.filter (fun c -> not (c == existing)) acc
+        | None -> cq :: acc)
+      [] structural
+  in
+  { answer_pred; arity; variant; cqs = List.rev deduped }
+
+let cq_count t = List.length t.cqs
+
+(* --- Evaluation --------------------------------------------------------------- *)
+
+(* Injective match of a CQ into [facts] with the head sent to [tuple];
+   when [cover] is set, every fact must be used by some atom (the exact
+   coverage conjuncts φ₂ ∧ φ₃ of ψ). *)
+let matches ~cover cq facts tuple =
+  let nfacts = Array.length facts in
+  let exception No in
+  let try_cq () =
+    let assignment = Hashtbl.create 16 in
+    let used_constants = Hashtbl.create 16 in
+    let bind v c =
+      match Hashtbl.find_opt assignment v with
+      | Some c' -> if not (Symbol.equal c c') then raise No else false
+      | None ->
+        if Hashtbl.mem used_constants c then raise No;
+        Hashtbl.add assignment v c;
+        Hashtbl.add used_constants c ();
+        true
+    in
+    let unbind v c =
+      Hashtbl.remove assignment v;
+      Hashtbl.remove used_constants c
+    in
+    Array.iteri (fun i v -> ignore (bind v tuple.(i))) cq.head;
+    let covered = Array.make nfacts 0 in
+    let n_covered = ref 0 in
+    let rec match_atoms = function
+      | [] -> (not cover) || !n_covered = nfacts
+      | (pred, args) :: rest ->
+        let try_fact j =
+          let f = facts.(j) in
+          if (not (Symbol.equal pred (Fact.pred f))) || Array.length args <> Fact.arity f
+          then false
+          else begin
+            let added = ref [] in
+            let ok =
+              try
+                Array.iteri
+                  (fun i v ->
+                    let c = (Fact.args f).(i) in
+                    if bind v c then added := (v, c) :: !added)
+                  args;
+                true
+              with No -> false
+            in
+            if ok then begin
+              if covered.(j) = 0 then incr n_covered;
+              covered.(j) <- covered.(j) + 1;
+              let result = match_atoms rest in
+              covered.(j) <- covered.(j) - 1;
+              if covered.(j) = 0 then decr n_covered;
+              if not result then List.iter (fun (v, c) -> unbind v c) !added;
+              result
+            end
+            else begin
+              List.iter (fun (v, c) -> unbind v c) !added;
+              false
+            end
+          end
+        in
+        let rec try_all j = j < nfacts && (try_fact j || try_all (j + 1)) in
+        try_all 0
+    in
+    match_atoms cq.atoms
+  in
+  try try_cq () with No -> false
+
+let member t db tuple =
+  Array.length tuple = t.arity
+  && begin
+    let facts = Array.of_list (Fact.Set.elements db) in
+    match t.variant with
+    | Any | Non_recursive | Unambiguous ->
+      List.exists (fun cq -> matches ~cover:true cq facts tuple) t.cqs
+    | Minimal_depth ->
+      (* φ₄ of Theorem 36: the witnessing CQ must have the smallest
+         generating-tree depth among all CQs that (plainly) match. *)
+      let min_plain_depth =
+        List.fold_left
+          (fun acc cq ->
+            if cq.depth < acc && matches ~cover:false cq facts tuple then cq.depth
+            else acc)
+          max_int t.cqs
+      in
+      List.exists
+        (fun cq ->
+          cq.depth <= min_plain_depth && matches ~cover:true cq facts tuple)
+        t.cqs
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>cq≈(Q) for %a/%d: %d classes@,"
+    Symbol.pp t.answer_pred t.arity (List.length t.cqs);
+  List.iteri
+    (fun i cq ->
+      let var v = Printf.sprintf "X%d" v in
+      Format.fprintf ppf "  %d (depth %d): (%s) <- %s@," i cq.depth
+        (String.concat "," (Array.to_list (Array.map var cq.head)))
+        (String.concat " & "
+           (List.map
+              (fun (p, args) ->
+                Printf.sprintf "%s(%s)" (Symbol.name p)
+                  (String.concat "," (Array.to_list (Array.map var args))))
+              cq.atoms)))
+    t.cqs;
+  Format.fprintf ppf "@]"

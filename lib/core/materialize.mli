@@ -1,0 +1,40 @@
+(** All-at-once computation of the (full) why-provenance by a bottom-up
+    set-of-sets fixpoint.
+
+    For every fact [α] of the downward closure we compute the family
+    [W(α)] of supports of proof trees of [α]:
+    - [W(α) ⊇ {{α}}] for database facts;
+    - [W(α₀) ⊇ { S₁ ∪ … ∪ Sₙ | α₀ :- α₁,…,αₙ is a rule instance and
+      Sᵢ ∈ W(αᵢ) }], iterated to fixpoint.
+
+    The least fixpoint is exactly [why(t̄, D, Q)] on the root (supports
+    of arbitrary proof trees, Definition 2): each round adds the
+    supports of trees of the next height, and conversely every fixpoint
+    member is witnessed by a tree built from the chosen sub-supports.
+
+    This is the "materialize the whole provenance at once" strategy of
+    Elhalawati, Krötzsch & Mennicke (2022), which the paper compares
+    against in Figure 5. Worst-case exponential in [|D|]. *)
+
+open Datalog
+
+exception Budget_exceeded
+(** Raised when the family grows beyond [max_members]. *)
+
+val why : ?max_members:int -> Program.t -> Database.t -> Fact.t -> Fact.Set.t list
+(** The complete why-provenance of a fact, sorted. [max_members] bounds
+    the total number of support sets stored across all facts
+    (default: unlimited). *)
+
+val why_of_closure : ?max_members:int -> Closure.t -> Fact.Set.t list
+(** Same, reusing a downward closure. *)
+
+val why_full : ?max_members:int -> ?deadline:float -> Program.t -> Database.t -> Fact.t -> Fact.Set.t list
+(** The Figure 5 baseline: forward materialization of the support
+    families of {e every} model fact (no goal direction), then reading
+    off the family of the requested fact. This is how an engine that
+    "computes the whole why-provenance at once" behaves; on demanding
+    queries its stored family count explodes, which {!Budget_exceeded}
+    turns into the analogue of the paper's out-of-memory baseline
+    failures. [deadline] (absolute [Unix.gettimeofday] time) aborts the
+    same way. *)

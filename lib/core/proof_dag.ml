@@ -1,0 +1,237 @@
+open Datalog
+
+type node = {
+  fact : Fact.t;
+  rule : Rule.t option;
+  children : int list;
+}
+
+type t = {
+  root : int;
+  nodes : node array;
+}
+
+module Vec = Util.Vec
+
+(* Canonical keys for subtree isomorphism classes. Two subtrees with the
+   same key are isomorphic; keys are built bottom-up so each subtree is
+   visited once. *)
+module Key_table = Hashtbl
+
+let of_tree tree =
+  let nodes : node Vec.t = Vec.create () in
+  (* (canonical key, occurrence index) -> node id. The occurrence index
+     distinguishes the copies required when a rule body repeats the same
+     subtree class (Definition 4 needs one child per body atom). *)
+  let by_key : (string * int, int) Key_table.t = Key_table.create 256 in
+  let rec build occurrence t =
+    let key = canonical_key t in
+    match Key_table.find_opt by_key (key, occurrence) with
+    | Some id -> (id, key)
+    | None ->
+      let node =
+        match t with
+        | Proof_tree.Leaf f -> { fact = f; rule = None; children = [] }
+        | Proof_tree.Node { fact; rule; children } ->
+          (* Children of the same class get successive occurrence
+             indices so they remain distinct DAG nodes. *)
+          let seen_classes : (string, int) Hashtbl.t = Hashtbl.create 4 in
+          let child_ids =
+            List.map
+              (fun child ->
+                let child_key = canonical_key child in
+                let occ =
+                  match Hashtbl.find_opt seen_classes child_key with
+                  | Some k -> k + 1
+                  | None -> 0
+                in
+                Hashtbl.replace seen_classes child_key occ;
+                fst (build occ child))
+              children
+          in
+          { fact; rule = Some rule; children = child_ids }
+      in
+      let id = Vec.length nodes in
+      Vec.push nodes node;
+      Key_table.add by_key (key, occurrence) id;
+      (id, key)
+  and canonical_key t =
+    match t with
+    | Proof_tree.Leaf f -> "L" ^ string_of_int (Fact.hash f) ^ Fact.to_string f
+    | Proof_tree.Node { fact; children; _ } ->
+      let child_keys = List.sort String.compare (List.map canonical_key children) in
+      "N" ^ Fact.to_string fact ^ "(" ^ String.concat ";" child_keys ^ ")"
+  in
+  let root, _ = build 0 tree in
+  { root; nodes = Vec.to_array nodes }
+
+let unravel g =
+  let rec expand id =
+    let node = g.nodes.(id) in
+    match node.rule with
+    | None -> Proof_tree.Leaf node.fact
+    | Some rule ->
+      Proof_tree.Node
+        { fact = node.fact; rule; children = List.map expand node.children }
+  in
+  expand g.root
+
+let support g =
+  Array.fold_left
+    (fun acc node ->
+      if node.children = [] && node.rule = None then Fact.Set.add node.fact acc
+      else acc)
+    Fact.Set.empty g.nodes
+
+let size g = Array.length g.nodes
+
+let depth g =
+  let memo = Array.make (Array.length g.nodes) (-1) in
+  let rec walk id =
+    if memo.(id) >= 0 then memo.(id)
+    else begin
+      let node = g.nodes.(id) in
+      let d =
+        match node.children with
+        | [] -> 0
+        | children -> 1 + List.fold_left (fun acc c -> max acc (walk c)) 0 children
+      in
+      memo.(id) <- d;
+      d
+    end
+  in
+  walk g.root
+
+let fact g = g.nodes.(g.root).fact
+
+let check program db g =
+  let n = Array.length g.nodes in
+  let exception Bad of string in
+  try
+    if g.root < 0 || g.root >= n then raise (Bad "root out of range");
+    (* Acyclicity and reachability. *)
+    let state = Array.make n 0 in
+    let rec visit id =
+      match state.(id) with
+      | 1 -> raise (Bad "cycle detected")
+      | 2 -> ()
+      | _ ->
+        state.(id) <- 1;
+        List.iter visit g.nodes.(id).children;
+        state.(id) <- 2
+    in
+    visit g.root;
+    (* Rootedness: no node other than the root lacks incoming edges
+       among reachable nodes; unreachable nodes are not allowed. *)
+    Array.iteri
+      (fun id _ -> if state.(id) <> 2 then raise (Bad "unreachable node"))
+      g.nodes;
+    let has_incoming = Array.make n false in
+    Array.iter
+      (fun node -> List.iter (fun c -> has_incoming.(c) <- true) node.children)
+      g.nodes;
+    if has_incoming.(g.root) then raise (Bad "root has an incoming edge");
+    Array.iteri
+      (fun id node ->
+        match node.rule with
+        | None ->
+          if node.children <> [] then raise (Bad "leaf with children");
+          if not (Database.mem db node.fact) then
+            raise (Bad (Printf.sprintf "leaf %s not in database" (Fact.to_string node.fact)))
+        | Some rule ->
+          if id <> g.root && not has_incoming.(id) then
+            raise (Bad "second root detected");
+          let body = Rule.body rule in
+          if List.length body <> List.length node.children then
+            raise (Bad "child count does not match rule body");
+          let b : Eval.binding = Hashtbl.create 16 in
+          let unify (atom : Atom.t) f =
+            if not (Symbol.equal atom.Atom.pred (Fact.pred f)) then
+              raise (Bad "predicate mismatch");
+            Array.iteri
+              (fun i term ->
+                let c = (Fact.args f).(i) in
+                match term with
+                | Term.Const c' ->
+                  if not (Symbol.equal c c') then raise (Bad "constant mismatch")
+                | Term.Var v -> (
+                  match Hashtbl.find_opt b v with
+                  | Some c' ->
+                    if not (Symbol.equal c c') then raise (Bad "inconsistent substitution")
+                  | None -> Hashtbl.add b v c))
+              atom.Atom.args
+          in
+          unify (Rule.head rule) node.fact;
+          List.iter2
+            (fun atom child -> unify atom g.nodes.(child).fact)
+            body node.children;
+          if not (List.exists (Rule.equal rule) (Program.rules program)) then
+            raise (Bad "rule not in program"))
+      g.nodes;
+    Ok ()
+  with Bad msg -> Error msg
+
+let is_compressed g =
+  let seen : unit Fact.Table.t = Fact.Table.create 64 in
+  try
+    Array.iter
+      (fun node ->
+        if Fact.Table.mem seen node.fact then raise Exit
+        else Fact.Table.add seen node.fact ())
+      g.nodes;
+    true
+  with Exit -> false
+
+let compress_depth _program tree =
+  (* Lemma 6: while some path contains an ancestor v and a descendant u
+     with the same label and the same subtree support, replace T[v] by
+     T[u]. Terminates because the tree shrinks strictly. *)
+  let rec shrink t =
+    (* Find, under [t], a descendant with the same label and support. *)
+    let label = Proof_tree.fact t in
+    let target_support = Proof_tree.support t in
+    let rec find_descendant current =
+      match current with
+      | Proof_tree.Leaf _ -> None
+      | Proof_tree.Node { children; _ } ->
+        let direct =
+          List.find_opt
+            (fun child ->
+              Fact.equal (Proof_tree.fact child) label
+              && Fact.Set.equal (Proof_tree.support child) target_support)
+            children
+        in
+        (match direct with
+        | Some child -> Some child
+        | None -> List.find_map find_descendant children)
+    in
+    match find_descendant t with
+    | Some replacement -> shrink replacement
+    | None -> (
+      match t with
+      | Proof_tree.Leaf _ -> t
+      | Proof_tree.Node { fact; rule; children } ->
+        Proof_tree.Node { fact; rule; children = List.map shrink children })
+  in
+  shrink tree
+
+let to_dot g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph proof_dag {\n  node [shape=box];\n";
+  Array.iteri
+    (fun id node ->
+      let style =
+        if node.rule = None then ", style=filled, fillcolor=lightgray" else ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\"%s];\n" id
+           (String.escaped (Fact.to_string node.fact)) style))
+    g.nodes;
+  Array.iteri
+    (fun id node ->
+      List.iter
+        (fun c -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" id c))
+        node.children)
+    g.nodes;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

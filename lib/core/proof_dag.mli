@@ -1,0 +1,60 @@
+(** Proof DAGs (Definition 4) and the constructions of Proposition 5:
+    compacting a proof tree into a polynomially-sized proof DAG with the
+    same support, and unravelling a proof DAG back into a proof tree.
+
+    A node of the DAG carries a fact; an internal node records the rule
+    instance justifying its (ordered) children, mirroring condition (3)
+    of Definition 4. Sharing is by isomorphism class of subtrees, with
+    one copy per occurrence position inside a single rule body — exactly
+    the node budget of Lemma 8 (#classes × max body size). *)
+
+open Datalog
+
+type node = {
+  fact : Fact.t;
+  rule : Rule.t option;   (** [None] for leaves (database facts) *)
+  children : int list;    (** node ids, in body-atom order *)
+}
+
+type t = {
+  root : int;
+  nodes : node array;
+}
+
+val of_tree : Proof_tree.t -> t
+(** One DAG node per isomorphism class of subtrees (and per occurrence
+    index within a parent), i.e. the Lemma 8 compaction. For an
+    unambiguous tree the result has at most one node per fact — a
+    compressed DAG in the sense of Definition 40. *)
+
+val unravel : t -> Proof_tree.t
+(** Expands sharing back into a tree. [support (unravel g) = support g]
+    and the tree is a proof tree whenever [g] is a proof DAG. *)
+
+val support : t -> Fact.Set.t
+(** Facts labelling the leaves. *)
+
+val size : t -> int
+(** Number of nodes. *)
+
+val depth : t -> int
+(** Longest root-to-leaf path length. *)
+
+val fact : t -> Fact.t
+(** Root label. *)
+
+val check : Program.t -> Database.t -> t -> (unit, string) result
+(** Validates conditions (1)–(3) of Definition 4 plus acyclicity and
+    rootedness. *)
+
+val is_compressed : t -> bool
+(** At most one node per fact (Definition 40's shape). *)
+
+val compress_depth : Program.t -> Proof_tree.t -> Proof_tree.t
+(** The Lemma 6 transformation: repeatedly replaces a subtree [T[v]] by a
+    descendant subtree [T[u]] with the same root label and the same
+    support, until no such pair exists on any path. Preserves validity
+    and support while bounding the depth polynomially. The program
+    argument is unused computationally and documents intent. *)
+
+val to_dot : t -> string

@@ -1,0 +1,196 @@
+open Datalog
+
+type t =
+  | Leaf of Fact.t
+  | Node of {
+      fact : Fact.t;
+      rule : Rule.t;
+      children : t list;
+    }
+
+let fact = function
+  | Leaf f -> f
+  | Node { fact; _ } -> fact
+
+let rec support = function
+  | Leaf f -> Fact.Set.singleton f
+  | Node { children; _ } ->
+    List.fold_left
+      (fun acc child -> Fact.Set.union acc (support child))
+      Fact.Set.empty children
+
+let rec depth = function
+  | Leaf _ -> 0
+  | Node { children; _ } ->
+    1 + List.fold_left (fun acc c -> max acc (depth c)) 0 children
+
+let rec size = function
+  | Leaf _ -> 1
+  | Node { children; _ } ->
+    1 + List.fold_left (fun acc c -> acc + size c) 0 children
+
+let rec facts = function
+  | Leaf f -> Fact.Set.singleton f
+  | Node { fact; children; _ } ->
+    List.fold_left
+      (fun acc child -> Fact.Set.union acc (facts child))
+      (Fact.Set.singleton fact) children
+
+let check program db tree =
+  let exception Bad of string in
+  let rec walk = function
+    | Leaf f ->
+      if not (Database.mem db f) then
+        raise (Bad (Printf.sprintf "leaf %s is not a database fact" (Fact.to_string f)))
+    | Node { fact = node_fact; rule; children } ->
+      if children = [] then raise (Bad "internal node without children");
+      let body = Rule.body rule in
+      if List.length body <> List.length children then
+        raise
+          (Bad
+             (Printf.sprintf "node %s: %d children for a %d-atom body"
+                (Fact.to_string node_fact) (List.length children) (List.length body)));
+      (* Find a substitution h with head ↦ fact and body_i ↦ child_i. *)
+      let b : Eval.binding = Hashtbl.create 16 in
+      let unify (atom : Atom.t) f =
+        if not (Symbol.equal atom.Atom.pred (Fact.pred f)) then
+          raise
+            (Bad
+               (Printf.sprintf "node %s: rule atom %s cannot match %s"
+                  (Fact.to_string node_fact) (Atom.to_string atom) (Fact.to_string f)));
+        Array.iteri
+          (fun i term ->
+            let c = (Fact.args f).(i) in
+            match term with
+            | Term.Const c' ->
+              if not (Symbol.equal c c') then
+                raise (Bad (Printf.sprintf "constant mismatch in %s" (Fact.to_string f)))
+            | Term.Var v -> (
+              match Hashtbl.find_opt b v with
+              | Some c' ->
+                if not (Symbol.equal c c') then
+                  raise
+                    (Bad
+                       (Printf.sprintf "node %s: inconsistent substitution at %s"
+                          (Fact.to_string node_fact) (Fact.to_string f)))
+              | None -> Hashtbl.add b v c))
+          atom.Atom.args
+      in
+      unify (Rule.head rule) node_fact;
+      List.iter2 (fun atom child -> unify atom (fact child)) body children;
+      if not (List.exists (Rule.equal rule) (Program.rules program)) then
+        raise (Bad "rule does not belong to the program");
+      List.iter walk children
+  in
+  try
+    walk tree;
+    Ok ()
+  with Bad msg -> Error msg
+
+(* Canonical comparison: compare labels, then the sorted lists of
+   canonical children. This makes child order irrelevant, matching the
+   paper's notion of tree isomorphism. *)
+let rec compare_canonical t1 t2 =
+  match t1, t2 with
+  | Leaf f1, Leaf f2 -> Fact.compare f1 f2
+  | Leaf _, Node _ -> -1
+  | Node _, Leaf _ -> 1
+  | Node n1, Node n2 ->
+    let c = Fact.compare n1.fact n2.fact in
+    if c <> 0 then c
+    else begin
+      let sort children = List.sort compare_canonical children in
+      let rec compare_lists l1 l2 =
+        match l1, l2 with
+        | [], [] -> 0
+        | [], _ :: _ -> -1
+        | _ :: _, [] -> 1
+        | x1 :: r1, x2 :: r2 ->
+          let c = compare_canonical x1 x2 in
+          if c <> 0 then c else compare_lists r1 r2
+      in
+      compare_lists (sort n1.children) (sort n2.children)
+    end
+
+let isomorphic t1 t2 = compare_canonical t1 t2 = 0
+
+let is_non_recursive tree =
+  let rec walk path = function
+    | Leaf f -> not (Fact.Set.mem f path)
+    | Node { fact; children; _ } ->
+      (not (Fact.Set.mem fact path))
+      && List.for_all (walk (Fact.Set.add fact path)) children
+  in
+  walk Fact.Set.empty tree
+
+let subtrees_by_fact tree =
+  let table : t list Fact.Table.t = Fact.Table.create 64 in
+  let rec walk t =
+    let f = fact t in
+    let existing = Option.value ~default:[] (Fact.Table.find_opt table f) in
+    Fact.Table.replace table f (t :: existing);
+    match t with
+    | Leaf _ -> ()
+    | Node { children; _ } -> List.iter walk children
+  in
+  walk tree;
+  table
+
+let is_unambiguous tree =
+  let table = subtrees_by_fact tree in
+  Fact.Table.fold
+    (fun _ subtrees acc ->
+      acc
+      &&
+      match subtrees with
+      | [] | [ _ ] -> true
+      | first :: rest -> List.for_all (isomorphic first) rest)
+    table true
+
+let scount tree =
+  let table = subtrees_by_fact tree in
+  Fact.Table.fold
+    (fun _ subtrees acc ->
+      let classes =
+        List.sort_uniq compare_canonical subtrees |> List.length
+      in
+      max acc classes)
+    table 1
+
+let pp ppf tree =
+  let rec walk indent t =
+    Format.fprintf ppf "%s%a" indent Fact.pp (fact t);
+    match t with
+    | Leaf _ -> Format.fprintf ppf "  [db]@,"
+    | Node { rule; children; _ } ->
+      Format.fprintf ppf "  [rule %d]@," rule.Rule.id;
+      List.iter (walk (indent ^ "  ")) children
+  in
+  Format.fprintf ppf "@[<v>";
+  walk "" tree;
+  Format.fprintf ppf "@]"
+
+let to_dot tree =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph proof_tree {\n  node [shape=box];\n";
+  let counter = ref 0 in
+  let rec walk t =
+    let id = !counter in
+    incr counter;
+    let shape = match t with Leaf _ -> ", style=filled, fillcolor=lightgray" | Node _ -> "" in
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"%s\"%s];\n" id
+         (String.escaped (Fact.to_string (fact t))) shape);
+    (match t with
+    | Leaf _ -> ()
+    | Node { children; _ } ->
+      List.iter
+        (fun child ->
+          let cid = walk child in
+          Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" id cid))
+        children);
+    id
+  in
+  ignore (walk tree);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

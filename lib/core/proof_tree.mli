@@ -1,0 +1,62 @@
+(** Proof trees (Definition 1 of the paper) and their refined classes.
+
+    A proof tree of a fact [α] w.r.t. a database [D] and a program [Σ]
+    is a labelled rooted tree whose root is labelled [α], whose leaves
+    are labelled with database facts, and whose internal nodes are
+    justified by rule instances. *)
+
+open Datalog
+
+type t =
+  | Leaf of Fact.t
+      (** A database fact used as-is. *)
+  | Node of {
+      fact : Fact.t;
+      rule : Rule.t;
+      children : t list;  (** one per body atom, in body order *)
+    }
+
+val fact : t -> Fact.t
+(** Label of the root. *)
+
+val support : t -> Fact.Set.t
+(** Facts labelling the leaves (Section 3). *)
+
+val depth : t -> int
+(** Length of the longest root-to-leaf path ([Leaf] has depth 0). *)
+
+val size : t -> int
+(** Number of nodes. *)
+
+val facts : t -> Fact.Set.t
+(** All facts labelling any node. *)
+
+val check : Program.t -> Database.t -> t -> (unit, string) result
+(** Validates the three conditions of Definition 1 against the given
+    program and database (the root label is not constrained here). *)
+
+val isomorphic : t -> t -> bool
+(** Label-preserving isomorphism of rooted trees; children are compared
+    as multisets, so body-atom order is irrelevant. *)
+
+val is_non_recursive : t -> bool
+(** No two nodes on a root-to-leaf path share a label (Definition 18). *)
+
+val is_unambiguous : t -> bool
+(** All nodes with the same label have isomorphic subtrees
+    (Definition 13). *)
+
+val scount : t -> int
+(** Subtree count: the maximum, over facts [α] labelling the tree, of the
+    number of isomorphism classes of subtrees rooted at [α]-labelled
+    nodes (Section 4.1). An unambiguous tree has [scount = 1]. *)
+
+val compare_canonical : t -> t -> int
+(** Total order invariant under isomorphism: [compare_canonical t1 t2 = 0]
+    iff [isomorphic t1 t2]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented ASCII rendering. *)
+
+val to_dot : t -> string
+(** Graphviz rendering (one node per tree node). *)

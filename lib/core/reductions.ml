@@ -1,0 +1,218 @@
+open Datalog
+
+type instance = {
+  program : Program.t;
+  database : Database.t;
+  goal : Fact.t;
+  candidate : Fact.Set.t;
+}
+
+type cnf = int list list
+
+(* The linear Datalog program of Lemma 17. [var(V, Zero, One)] keeps the
+   two truth values in its last positions; [assign] carries the chosen
+   value along; the [c] atoms are touched by σ3–σ5 whenever the current
+   variable satisfies the clause; [next] walks the variable order. *)
+let sat_program_src = {|
+  r(X) :- var(X, Z, W), assign(X, Z).
+  r(X) :- var(X, W, Z), assign(X, Z).
+  assign(X, Y) :- c(X, Y, A1, B1, A2, B2), assign(X, Y).
+  assign(X, Y) :- c(A1, B1, X, Y, A2, B2), assign(X, Y).
+  assign(X, Y) :- c(A1, B1, A2, B2, X, Y), assign(X, Y).
+  assign(X, Z) :- next(X, Y, Z, W), r(Y).
+  assign(X, Z) :- next(X, Y, W, Z), r(Y).
+  r(X) :- last(X).
+|}
+
+let sat_program = lazy (fst (Parser.program_of_string sat_program_src))
+
+let of_3sat ~nvars cnf =
+  if nvars < 1 then invalid_arg "Reductions.of_3sat: need at least one variable";
+  List.iter
+    (fun clause ->
+      if List.length clause <> 3 then
+        invalid_arg "Reductions.of_3sat: clauses must have exactly 3 literals";
+      List.iter
+        (fun l ->
+          if l = 0 || abs l > nvars then
+            invalid_arg "Reductions.of_3sat: literal out of range")
+        clause)
+    cnf;
+  let var i = Printf.sprintf "v%d" i in
+  let bullet = "end" in
+  let lit_var l = var (abs l - 1) in
+  let lit_val l = if l > 0 then "1" else "0" in
+  let facts =
+    List.concat
+      [
+        List.init nvars (fun i -> Fact.of_strings "var" [ var i; "0"; "1" ]);
+        List.init (nvars - 1) (fun i ->
+            Fact.of_strings "next" [ var i; var (i + 1); "0"; "1" ]);
+        [ Fact.of_strings "next" [ var (nvars - 1); bullet; "0"; "1" ] ];
+        [ Fact.of_strings "last" [ bullet ] ];
+        List.map
+          (fun clause ->
+            match clause with
+            | [ l1; l2; l3 ] ->
+              Fact.of_strings "c"
+                [ lit_var l1; lit_val l1; lit_var l2; lit_val l2;
+                  lit_var l3; lit_val l3 ]
+            | _ -> assert false)
+          cnf;
+      ]
+  in
+  let database = Database.of_list facts in
+  {
+    program = Lazy.force sat_program;
+    database;
+    goal = Fact.of_strings "r" [ var 0 ];
+    candidate = Database.to_set database;
+  }
+
+(* The depth-uniform 3SAT reduction of Lemma 34: [var] carries the id of
+   the first clause, [assign(V, B, K)] walks the clause order one step
+   at a time (via [nextc]), touching the clause's [c] atom when the
+   assignment satisfies it (σ3–σ5) and skipping it otherwise (σ'/σ''),
+   so that every proof tree of r(v₁) makes exactly m steps per variable
+   and all proof trees share the same depth (Lemma 35). *)
+let sat_md_program_src = {|
+  r(X) :- var(X, Y, W, Z), assign(X, Y, Z).
+  r(X) :- var(X, W, Y, Z), assign(X, Y, Z).
+  assign(X, Y, Z) :- nextc(X, Z, W, K, L), c(X, Y, A1, B1, A2, B2, Z, W, K, L), assign(X, Y, W).
+  assign(X, Y, Z) :- nextc(X, Z, W, K, L), c(A1, B1, X, Y, A2, B2, Z, W, K, L), assign(X, Y, W).
+  assign(X, Y, Z) :- nextc(X, Z, W, K, L), c(A1, B1, A2, B2, X, Y, Z, W, K, L), assign(X, Y, W).
+  assign(X, Y, Z) :- nextc(X, Z, W, Y, L), assign(X, Y, W).
+  assign(X, Y, Z) :- nextc(X, Z, W, L, Y), assign(X, Y, W).
+  assign(X, Z, W) :- next(X, Y, Z, U, W), r(Y).
+  assign(X, Z, W) :- next(X, Y, U, Z, W), r(Y).
+  r(X) :- last(X).
+|}
+
+let sat_md_program = lazy (fst (Parser.program_of_string sat_md_program_src))
+
+let of_3sat_md ~nvars cnf =
+  if nvars < 1 then invalid_arg "Reductions.of_3sat_md: need at least one variable";
+  List.iter
+    (fun clause ->
+      if List.length clause <> 3 then
+        invalid_arg "Reductions.of_3sat_md: clauses must have exactly 3 literals";
+      List.iter
+        (fun l ->
+          if l = 0 || abs l > nvars then
+            invalid_arg "Reductions.of_3sat_md: literal out of range")
+        clause)
+    cnf;
+  let m = List.length cnf in
+  let var i = Printf.sprintf "v%d" i in
+  let bullet = "end" in
+  let clause_id j = Printf.sprintf "k%d" j in
+  let lit_var l = var (abs l - 1) in
+  let lit_val l = if l > 0 then "1" else "0" in
+  let facts =
+    List.concat
+      [
+        (* var(v, 0, 1, firstClause) *)
+        List.init nvars (fun i ->
+            Fact.of_strings "var" [ var i; "0"; "1"; clause_id 1 ]);
+        (* nextc(v, j, j+1, 0, 1) steps the clause counter, for every
+           variable; clause ids run 1..m, terminal id m+1. *)
+        List.concat
+          (List.init nvars (fun i ->
+               List.init m (fun j ->
+                   Fact.of_strings "nextc"
+                     [ var i; clause_id (j + 1); clause_id (j + 2); "0"; "1" ])));
+        (* next(v_i, v_{i+1}, 0, 1, doneId) moves to the next variable
+           once the clause counter has reached m+1. *)
+        List.init (nvars - 1) (fun i ->
+            Fact.of_strings "next"
+              [ var i; var (i + 1); "0"; "1"; clause_id (m + 1) ]);
+        [ Fact.of_strings "next" [ var (nvars - 1); bullet; "0"; "1"; clause_id (m + 1) ] ];
+        [ Fact.of_strings "last" [ bullet ] ];
+        (* c(x1,b1,x2,b2,x3,b3, j, j+1, 0, 1) for the j-th clause. *)
+        List.mapi
+          (fun j clause ->
+            match clause with
+            | [ l1; l2; l3 ] ->
+              Fact.of_strings "c"
+                [ lit_var l1; lit_val l1; lit_var l2; lit_val l2;
+                  lit_var l3; lit_val l3; clause_id (j + 1); clause_id (j + 2);
+                  "0"; "1" ]
+            | _ -> assert false)
+          cnf;
+      ]
+  in
+  let database = Database.of_list facts in
+  {
+    program = Lazy.force sat_md_program;
+    database;
+    goal = Fact.of_strings "r" [ var 0 ];
+    candidate = Database.to_set database;
+  }
+
+(* The linear Datalog program of Lemma 24. [e(U, V, I, J, Z)] stores the
+   edge (U,V) with order index I → J = I+1 and the terminal index Z;
+   [markede] walks the edge order, which forces a support equal to the
+   whole database to traverse every edge; [path] walks the cycle. *)
+let ham_program_src = {|
+  markede(X) :- first(X).
+  markede(Y) :- e(A, B, X, Y, Z), markede(X).
+  path(Y) :- e(X, Y, A, B, Z), markede(Z), n(X).
+  path(Y) :- e(X, Y, A, B, Z), path(X), n(X).
+|}
+
+let ham_program = lazy (fst (Parser.program_of_string ham_program_src))
+
+let of_ham_cycle ~nodes edges =
+  if nodes < 1 then invalid_arg "Reductions.of_ham_cycle: need at least one node";
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= nodes || v < 0 || v >= nodes then
+        invalid_arg "Reductions.of_ham_cycle: edge out of range")
+    edges;
+  let node i = Printf.sprintf "n%d" i in
+  let idx i = string_of_int i in
+  let m = List.length edges in
+  let facts =
+    List.concat
+      [
+        [ Fact.of_strings "first" [ idx 1 ] ];
+        List.init nodes (fun i -> Fact.of_strings "n" [ node i ]);
+        List.mapi
+          (fun i (u, v) ->
+            Fact.of_strings "e" [ node u; node v; idx (i + 1); idx (i + 2); idx (m + 1) ])
+          edges;
+      ]
+  in
+  let database = Database.of_list facts in
+  {
+    program = Lazy.force ham_program;
+    database;
+    goal = Fact.of_strings "path" [ node 0 ];
+    candidate = Database.to_set database;
+  }
+
+let ham_cycle_brute_force ~nodes edges =
+  let adjacent = Hashtbl.create 64 in
+  List.iter (fun (u, v) -> Hashtbl.replace adjacent (u, v) ()) edges;
+  let edge u v = Hashtbl.mem adjacent (u, v) in
+  if nodes = 1 then edge 0 0
+  else begin
+    (* Fix node 0 as the start; try every permutation of the rest. *)
+    let rec extend current visited count =
+      if count = nodes then edge current 0
+      else begin
+        let found = ref false in
+        for next = 0 to nodes - 1 do
+          if (not !found) && (not visited.(next)) && edge current next then begin
+            visited.(next) <- true;
+            if extend next visited (count + 1) then found := true;
+            visited.(next) <- false
+          end
+        done;
+        !found
+      end
+    in
+    let visited = Array.make nodes false in
+    visited.(0) <- true;
+    extend 0 visited 1
+  end

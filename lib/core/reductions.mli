@@ -1,0 +1,47 @@
+(** The two NP-hardness reductions of the paper, as executable instance
+    generators.
+
+    - {!of_3sat}: the reduction from 3SAT to Why-Provenance[Q] for a fixed
+      linear Datalog query (proof of Theorem 3 / Lemma 17): a 3CNF
+      formula [φ] is satisfiable iff [D_φ ∈ why((v₁), D_φ, Q)].
+    - {!of_ham_cycle}: the reduction from Hamiltonian cycle to
+      Why-Provenance_NR[Q] for a fixed linear Datalog query (proof of
+      Theorem 19 / Lemma 24): a digraph [G] has a Hamiltonian cycle iff
+      [D_G ∈ why_NR((v0), D_G, Q)]. Since the query is linear, why_NR
+      and why_UN coincide, so the SAT pipeline decides it. *)
+
+open Datalog
+
+type instance = {
+  program : Program.t;
+  database : Database.t;
+  goal : Fact.t;       (** the fact [R(t̄)] whose provenance is asked *)
+  candidate : Fact.Set.t; (** the candidate member (the whole database) *)
+}
+
+type cnf = int list list
+(** A CNF formula over variables [0..n-1]: a clause is a list of
+    non-zero integers, [k+1] meaning variable [k] positive and [-(k+1)]
+    negative (DIMACS-style). *)
+
+val of_3sat : nvars:int -> cnf -> instance
+(** Builds the Why-Provenance[Q] instance for a CNF with exactly three
+    literals per clause over variables [0..nvars-1].
+    @raise Invalid_argument if a clause does not have exactly 3 literals
+    or [nvars < 1]. *)
+
+val of_3sat_md : nvars:int -> cnf -> instance
+(** The depth-uniform variant of the 3SAT reduction used for
+    Why-Provenance_MD (proof of Theorem 27 / Lemma 34): the program is
+    padded with clause-stepping rules so that {e every} proof tree of
+    [r(v₁)] has depth exactly [n·(m+2)+1] (Lemma 35), making every
+    proof tree minimal-depth; [φ] is satisfiable iff
+    [D_φ ∈ why_MD((v₁), D_φ, Q)]. *)
+
+val of_ham_cycle : nodes:int -> (int * int) list -> instance
+(** Builds the Why-Provenance_NR[Q] instance for the digraph with nodes
+    [0..nodes-1] and the given edge list.
+    @raise Invalid_argument if [nodes < 1] or an edge is out of range. *)
+
+val ham_cycle_brute_force : nodes:int -> (int * int) list -> bool
+(** Exhaustive Hamiltonian-cycle test, used as the oracle in tests. *)

@@ -1,0 +1,39 @@
+(** Soufflé-style provenance traces: one witness without search.
+
+    Zhao, Subotić & Scholz (TOPLAS 2020, cited by the paper as the
+    "debugging large-scale Datalog" line of work) sidestep the
+    intractability of full why-provenance by recording, during
+    bottom-up evaluation, a single rule instance per derived fact — the
+    first one that fired. A proof tree can then be reconstructed in
+    time linear in its size, giving exactly one member of the
+    why-provenance (an under-approximation of the full family).
+
+    This module implements that strategy on our engine: {!record} runs
+    semi-naive evaluation while keeping the first derivation of every
+    fact, and {!proof_tree} rebuilds the witness tree. Because each
+    fact keeps exactly one derivation, the reconstructed tree is always
+    unambiguous, so its support is a member of [why_UN(t̄, D, Q)] — a
+    fact the tests cross-check against the SAT pipeline. *)
+
+open Datalog
+
+type t
+
+val record : Program.t -> Database.t -> t
+(** Evaluates the program, recording the first derivation of every
+    derived fact. Costs a constant factor over plain evaluation. *)
+
+val model : t -> Database.t
+(** The materialized model [Σ(D)]. *)
+
+val derivation : t -> Fact.t -> (Rule.t * Fact.t list) option
+(** The recorded rule instance deriving the fact; [None] for database
+    facts and underivable facts. *)
+
+val proof_tree : t -> Fact.t -> Proof_tree.t option
+(** Reconstructs the witness proof tree of a model fact ([None] if the
+    fact is not in the model). The result is unambiguous and its
+    support is a member of [why_UN]. *)
+
+val support : t -> Fact.t -> Fact.Set.t option
+(** Support of the witness tree, computed without materializing it. *)

@@ -1,0 +1,88 @@
+type t = {
+  pred : Symbol.t;
+  args : Term.t array;
+}
+
+let make pred args = { pred; args }
+
+let term_of_string s =
+  if String.equal s "_" then Term.Var (Symbol.fresh "_")
+  else if String.length s > 0 && (s.[0] = '_' || (s.[0] >= 'A' && s.[0] <= 'Z'))
+  then Term.var s
+  else Term.const s
+
+let of_strings pred args =
+  { pred = Symbol.intern pred;
+    args = Array.of_list (List.map term_of_string args) }
+
+let arity a = Array.length a.args
+
+let vars a =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  Array.iter
+    (function
+      | Term.Var v ->
+        if not (Hashtbl.mem seen v) then begin
+          Hashtbl.add seen v ();
+          acc := v :: !acc
+        end
+      | Term.Const _ -> ())
+    a.args;
+  List.rev !acc
+
+let is_ground a = Array.for_all Term.is_const a.args
+
+let to_fact a =
+  let const_of = function
+    | Term.Const c -> c
+    | Term.Var _ -> invalid_arg "Atom.to_fact: atom is not ground"
+  in
+  Fact.make a.pred (Array.map const_of a.args)
+
+let of_fact f =
+  { pred = Fact.pred f; args = Array.map (fun c -> Term.Const c) (Fact.args f) }
+
+let apply subst a =
+  let args =
+    Array.map
+      (function
+        | Term.Var v as t -> (match subst v with Some t' -> t' | None -> t)
+        | Term.Const _ as t -> t)
+      a.args
+  in
+  { a with args }
+
+let equal a1 a2 =
+  Symbol.equal a1.pred a2.pred
+  && Array.length a1.args = Array.length a2.args
+  && Array.for_all2 Term.equal a1.args a2.args
+
+let compare a1 a2 =
+  let c = Symbol.compare a1.pred a2.pred in
+  if c <> 0 then c
+  else begin
+    let n1 = Array.length a1.args and n2 = Array.length a2.args in
+    let c = Int.compare n1 n2 in
+    if c <> 0 then c
+    else begin
+      let rec loop i =
+        if i >= n1 then 0
+        else
+          let c = Term.compare a1.args.(i) a2.args.(i) in
+          if c <> 0 then c else loop (i + 1)
+      in
+      loop 0
+    end
+  end
+
+let pp ppf a =
+  if Array.length a.args = 0 then Symbol.pp ppf a.pred
+  else
+    Format.fprintf ppf "%a(%a)" Symbol.pp a.pred
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         Term.pp)
+      (Array.to_list a.args)
+
+let to_string a = Format.asprintf "%a" pp a

@@ -1,0 +1,31 @@
+(** Relational atoms: a predicate applied to terms (variables/constants). *)
+
+type t = {
+  pred : Symbol.t;
+  args : Term.t array;
+}
+
+val make : Symbol.t -> Term.t array -> t
+val of_strings : string -> string list -> t
+(** Argument strings starting with an uppercase letter (or ['_']) become
+    variables; anything else becomes a constant. ["_"] becomes a fresh
+    anonymous variable. *)
+
+val arity : t -> int
+val vars : t -> Symbol.t list
+(** Variables occurring in the atom, in order of first occurrence. *)
+
+val is_ground : t -> bool
+val to_fact : t -> Fact.t
+(** @raise Invalid_argument if the atom is not ground. *)
+
+val of_fact : Fact.t -> t
+
+val apply : (Symbol.t -> Term.t option) -> t -> t
+(** [apply subst atom] replaces each variable [v] with [subst v] when
+    defined; other terms are untouched. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,45 @@
+(** Fact stores with per-predicate and per-position hash indexes.
+
+    A [Database.t] is used both for extensional databases and for the
+    materialized models produced by evaluation. Lookup by a pattern of
+    bound argument positions is the primitive the join engine builds on. *)
+
+type t
+
+val create : unit -> t
+val of_list : Fact.t list -> t
+val of_set : Fact.Set.t -> t
+
+val add : t -> Fact.t -> bool
+(** [add db f] inserts [f]; returns [true] iff [f] was not already present. *)
+
+val mem : t -> Fact.t -> bool
+val size : t -> int
+
+val preds : t -> Symbol.t list
+(** Predicates with at least one fact, sorted. *)
+
+val count_pred : t -> Symbol.t -> int
+
+val iter : (Fact.t -> unit) -> t -> unit
+val iter_pred : t -> Symbol.t -> (Fact.t -> unit) -> unit
+
+val estimate : t -> Symbol.t -> (int * Symbol.t) list -> int
+(** Upper bound on the number of facts [iter_matching] would visit:
+    the smallest index bucket among the bound positions, or the
+    predicate's fact count when nothing is bound. Used by the greedy
+    join-ordering heuristic. *)
+
+val iter_matching : t -> Symbol.t -> (int * Symbol.t) list -> (Fact.t -> unit) -> unit
+(** [iter_matching db p bound f] calls [f] on every fact of predicate [p]
+    whose argument at position [i] equals [c] for each [(i, c)] in
+    [bound]. Uses a per-position hash index on the most selective bound
+    position and filters on the rest. *)
+
+val to_list : t -> Fact.t list
+val to_set : t -> Fact.Set.t
+val domain : t -> Symbol.t list
+(** Active domain: all constants occurring in the database, sorted. *)
+
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

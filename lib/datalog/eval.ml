@@ -1,0 +1,210 @@
+type binding = (Symbol.t, Symbol.t) Hashtbl.t
+
+let match_atom db (b : binding) (atom : Atom.t) k =
+  (* Positions already fixed by constants or bound variables. *)
+  let bound = ref [] in
+  Array.iteri
+    (fun i t ->
+      match t with
+      | Term.Const c -> bound := (i, c) :: !bound
+      | Term.Var v -> (
+        match Hashtbl.find_opt b v with
+        | Some c -> bound := (i, c) :: !bound
+        | None -> ()))
+    atom.Atom.args;
+  Database.iter_matching db atom.Atom.pred !bound (fun fact ->
+      (* Bind the free variables of [atom] against [fact], checking
+         consistency for repeated variables; undo on the way out. *)
+      let args = Fact.args fact in
+      let newly = ref [] in
+      let ok = ref true in
+      (try
+         Array.iteri
+           (fun i t ->
+             match t with
+             | Term.Const _ -> ()
+             | Term.Var v -> (
+               match Hashtbl.find_opt b v with
+               | Some c -> if not (Symbol.equal c args.(i)) then raise Exit
+               | None ->
+                 Hashtbl.add b v args.(i);
+                 newly := v :: !newly))
+           atom.Atom.args
+       with Exit -> ok := false);
+      if !ok then k fact;
+      List.iter (Hashtbl.remove b) !newly)
+
+let bound_positions (b : binding) (atom : Atom.t) =
+  let bound = ref [] in
+  Array.iteri
+    (fun i t ->
+      match t with
+      | Term.Const c -> bound := (i, c) :: !bound
+      | Term.Var v -> (
+        match Hashtbl.find_opt b v with
+        | Some c -> bound := (i, c) :: !bound
+        | None -> ()))
+    atom.Atom.args;
+  !bound
+
+(* Greedy join ordering: always match the atom with the fewest candidate
+   facts under the current binding. This is what makes backward
+   rule-instance extraction tractable on chain-shaped programs. *)
+let rec match_body db b atoms k =
+  match atoms with
+  | [] -> k ()
+  | [ atom ] -> match_atom db b atom (fun _ -> k ())
+  | _ ->
+    let best =
+      List.fold_left
+        (fun acc atom ->
+          let cost = Database.estimate db atom.Atom.pred (bound_positions b atom) in
+          match acc with
+          | Some (_, best_cost) when best_cost <= cost -> acc
+          | _ -> Some (atom, cost))
+        None atoms
+    in
+    (match best with
+    | None -> k ()
+    | Some (atom, _) ->
+      let rest = List.filter (fun a -> not (a == atom)) atoms in
+      match_atom db b atom (fun _ -> match_body db b rest k))
+
+let ground b (atom : Atom.t) =
+  let const_of = function
+    | Term.Const c -> c
+    | Term.Var v -> (
+      match Hashtbl.find_opt b v with
+      | Some c -> c
+      | None -> invalid_arg "Eval.ground: unbound variable")
+  in
+  Fact.make atom.Atom.pred (Array.map const_of atom.Atom.args)
+
+(* Evaluate [rule] with body atom [pos] matched against [delta] and the
+   other atoms against [full]; call [emit] on each derived head fact.
+   The delta atom is matched first (it is the smallest relation), the
+   rest greedily by selectivity. *)
+let fire_rule ~full ~delta ~pos rule emit =
+  let b : binding = Hashtbl.create 16 in
+  let body = Rule.body rule in
+  let finish () = emit (ground b (Rule.head rule)) in
+  if pos < 0 then match_body full b body finish
+  else begin
+    let delta_atom = List.nth body pos in
+    let rest = List.filteri (fun i _ -> i <> pos) body in
+    match_atom delta b delta_atom (fun _ -> match_body full b rest finish)
+  end
+
+let naive program db =
+  let model = Database.of_list (Database.to_list db) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun rule ->
+        let fresh = ref [] in
+        fire_rule ~full:model ~delta:model ~pos:(-1) rule (fun fact ->
+            if not (Database.mem model fact) then fresh := fact :: !fresh);
+        List.iter
+          (fun fact -> if Database.add model fact then changed := true)
+          !fresh)
+      (Program.rules program)
+  done;
+  model
+
+let seminaive ?ranks program db =
+  let model = Database.of_list (Database.to_list db) in
+  let record round fact =
+    match ranks with
+    | Some table -> if not (Fact.Table.mem table fact) then Fact.Table.add table fact round
+    | None -> ()
+  in
+  Database.iter (record 0) db;
+  (* Round 1: plain evaluation of every rule over the database. *)
+  let delta = ref (Database.create ()) in
+  List.iter
+    (fun rule ->
+      fire_rule ~full:model ~delta:model ~pos:(-1) rule (fun fact ->
+          if not (Database.mem model fact) then ignore (Database.add !delta fact)))
+    (Program.rules program);
+  Database.iter
+    (fun fact ->
+      if Database.add model fact then record 1 fact)
+    !delta;
+  (* idb positions of each rule body, precomputed. *)
+  let idb_positions rule =
+    List.filteri
+      (fun _ _ -> true)
+      (List.mapi (fun i (a : Atom.t) -> (i, a.Atom.pred)) (Rule.body rule))
+    |> List.filter_map (fun (i, p) -> if Program.is_idb program p then Some i else None)
+  in
+  let rule_positions =
+    List.map (fun r -> (r, idb_positions r)) (Program.rules program)
+  in
+  let round = ref 2 in
+  while Database.size !delta > 0 do
+    let next = Database.create () in
+    List.iter
+      (fun (rule, positions) ->
+        List.iter
+          (fun pos ->
+            fire_rule ~full:model ~delta:!delta ~pos rule (fun fact ->
+                if not (Database.mem model fact) && not (Database.mem next fact)
+                then ignore (Database.add next fact)))
+          positions)
+      rule_positions;
+    Database.iter
+      (fun fact ->
+        if Database.add model fact then record !round fact)
+      next;
+    delta := next;
+    incr round
+  done;
+  model
+
+let holds program db fact = Database.mem (seminaive program db) fact
+
+let answers program pred db =
+  let model = seminaive program db in
+  let acc = ref [] in
+  Database.iter_pred model pred (fun f -> acc := f :: !acc);
+  List.sort Fact.compare !acc
+
+let derivations program model fact =
+  let results : (int * Fact.t list, unit) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun rule ->
+      let head = Rule.head rule in
+      if Symbol.equal head.Atom.pred (Fact.pred fact)
+         && Atom.arity head = Fact.arity fact
+      then begin
+        let b : binding = Hashtbl.create 16 in
+        (* Unify head with [fact]. *)
+        let ok = ref true in
+        let newly = ref [] in
+        (try
+           Array.iteri
+             (fun i t ->
+               let c = (Fact.args fact).(i) in
+               match t with
+               | Term.Const c' -> if not (Symbol.equal c c') then raise Exit
+               | Term.Var v -> (
+                 match Hashtbl.find_opt b v with
+                 | Some c' -> if not (Symbol.equal c c') then raise Exit
+                 | None ->
+                   Hashtbl.add b v c;
+                   newly := v :: !newly))
+             head.Atom.args
+         with Exit -> ok := false);
+        if !ok then
+          match_body model b (Rule.body rule) (fun () ->
+              let body_facts = List.map (ground b) (Rule.body rule) in
+              let key = (rule.Rule.id, body_facts) in
+              if not (Hashtbl.mem results key) then begin
+                Hashtbl.add results key ();
+                order := (rule, body_facts) :: !order
+              end)
+      end)
+    (Program.rules program);
+  List.rev !order

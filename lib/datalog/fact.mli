@@ -1,0 +1,31 @@
+(** Ground facts: a predicate applied to constants.
+
+    Facts are the currency of the whole system — database members, proof
+    tree labels, hypergraph nodes, SAT variables. They compare and hash
+    on interned symbols only. *)
+
+type t = private {
+  pred : Symbol.t;
+  args : Symbol.t array;  (** constants *)
+}
+
+val make : Symbol.t -> Symbol.t array -> t
+val of_strings : string -> string list -> t
+(** [of_strings "edge" ["a"; "b"]] is the fact [edge(a,b)]. *)
+
+val pred : t -> Symbol.t
+val args : t -> Symbol.t array
+val arity : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Table : Hashtbl.S with type key = t
+
+val pp_set : Format.formatter -> Set.t -> unit
+(** Prints a support as [{f1, f2, ...}] in sorted order. *)

@@ -1,0 +1,27 @@
+(** Magic-sets rewriting: goal-directed evaluation for Datalog.
+
+    Given a program and a query atom with some arguments bound to
+    constants, produces a rewritten program whose bottom-up evaluation
+    only derives facts relevant to the goal — the classical
+    generalized-magic-sets transformation with left-to-right sideways
+    information passing. The paper's artifact relies on DLV's magic sets
+    to keep the memory footprint of provenance computations manageable
+    (Section D.5); this module provides the same capability for our
+    engine and powers the goal-directed-evaluation ablation. *)
+
+type t = {
+  program : Program.t;    (** the rewritten (adorned + magic) program *)
+  seed : Fact.t;          (** magic seed fact to add to the database *)
+  answer_pred : Symbol.t; (** adorned version of the query predicate *)
+  original_pred : Symbol.t;
+  goal : Atom.t;          (** the query pattern the rewriting is for *)
+}
+
+val transform : Program.t -> Atom.t -> t
+(** [transform program goal] rewrites [program] for the query pattern
+    [goal] (constants = bound positions, variables = free positions).
+    @raise Invalid_argument if the goal predicate is not intensional. *)
+
+val answers : t -> Database.t -> Fact.t list
+(** Evaluates the rewritten program over [db + seed] and returns the
+    matching answers, translated back to the original predicate. *)

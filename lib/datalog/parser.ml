@@ -1,0 +1,193 @@
+exception Error of string
+
+type clause =
+  | Clause_rule of Rule.t
+  | Clause_fact of Fact.t
+
+type token =
+  | Ident of string
+  | Quoted of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Turnstile
+  | Eof
+
+type lexer = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let fail lx msg =
+  raise (Error (Printf.sprintf "line %d, column %d: %s" lx.line lx.col msg))
+
+let peek_char lx =
+  if lx.pos >= String.length lx.src then None else Some lx.src.[lx.pos]
+
+let advance lx =
+  (match peek_char lx with
+  | Some '\n' ->
+    lx.line <- lx.line + 1;
+    lx.col <- 1
+  | Some _ -> lx.col <- lx.col + 1
+  | None -> ());
+  lx.pos <- lx.pos + 1
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-'
+
+let rec skip_ws lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance lx;
+    skip_ws lx
+  | Some '%' ->
+    let rec to_eol () =
+      match peek_char lx with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance lx;
+        to_eol ()
+    in
+    to_eol ();
+    skip_ws lx
+  | _ -> ()
+
+let next_token lx =
+  skip_ws lx;
+  match peek_char lx with
+  | None -> Eof
+  | Some '(' -> advance lx; Lparen
+  | Some ')' -> advance lx; Rparen
+  | Some ',' -> advance lx; Comma
+  | Some '.' -> advance lx; Dot
+  | Some ':' ->
+    advance lx;
+    (match peek_char lx with
+    | Some '-' -> advance lx; Turnstile
+    | _ -> fail lx "expected '-' after ':'")
+  | Some '\'' ->
+    advance lx;
+    let start = lx.pos in
+    let rec to_quote () =
+      match peek_char lx with
+      | Some '\'' -> ()
+      | Some _ -> advance lx; to_quote ()
+      | None -> fail lx "unterminated quoted constant"
+    in
+    to_quote ();
+    let s = String.sub lx.src start (lx.pos - start) in
+    advance lx;
+    Quoted s
+  | Some c when is_ident_char c ->
+    let start = lx.pos in
+    let rec consume () =
+      match peek_char lx with
+      | Some c when is_ident_char c -> advance lx; consume ()
+      | _ -> ()
+    in
+    consume ();
+    Ident (String.sub lx.src start (lx.pos - start))
+  | Some c -> fail lx (Printf.sprintf "unexpected character %C" c)
+
+type parser_state = {
+  lx : lexer;
+  mutable tok : token;
+}
+
+let bump st = st.tok <- next_token st.lx
+
+
+let term_of st = function
+  | Ident "_" -> Term.Var (Symbol.fresh "_")
+  | Ident s when s.[0] = '_' || (s.[0] >= 'A' && s.[0] <= 'Z') -> Term.var s
+  | Ident s -> Term.const s
+  | Quoted s -> Term.const s
+  | _ -> fail st.lx "expected a term"
+
+let parse_atom st =
+  match st.tok with
+  | Ident name ->
+    bump st;
+    if st.tok = Lparen then begin
+      bump st;
+      let rec terms acc =
+        let t = term_of st st.tok in
+        bump st;
+        match st.tok with
+        | Comma ->
+          bump st;
+          terms (t :: acc)
+        | Rparen ->
+          bump st;
+          List.rev (t :: acc)
+        | _ -> fail st.lx "expected ',' or ')' in argument list"
+      in
+      Atom.make (Symbol.intern name) (Array.of_list (terms []))
+    end
+    else Atom.make (Symbol.intern name) [||]
+  | _ -> fail st.lx "expected a predicate name"
+
+let parse_clause st =
+  let head = parse_atom st in
+  match st.tok with
+  | Dot ->
+    bump st;
+    if Atom.is_ground head then Clause_fact (Atom.to_fact head)
+    else fail st.lx "fact with variables (a bodyless clause must be ground)"
+  | Turnstile ->
+    bump st;
+    let rec atoms acc =
+      let a = parse_atom st in
+      match st.tok with
+      | Comma ->
+        bump st;
+        atoms (a :: acc)
+      | Dot ->
+        bump st;
+        List.rev (a :: acc)
+      | _ -> fail st.lx "expected ',' or '.' after body atom"
+    in
+    let body = atoms [] in
+    (try Clause_rule (Rule.make head body)
+     with Invalid_argument msg -> fail st.lx msg)
+  | _ -> fail st.lx "expected '.' or ':-' after head atom"
+
+let parse_string src =
+  let lx = { src; pos = 0; line = 1; col = 1 } in
+  let st = { lx; tok = Eof } in
+  bump st;
+  let rec clauses acc =
+    match st.tok with
+    | Eof -> List.rev acc
+    | _ -> clauses (parse_clause st :: acc)
+  in
+  clauses []
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  parse_string src
+
+let split clauses =
+  let rules, facts =
+    List.fold_left
+      (fun (rs, fs) clause ->
+        match clause with
+        | Clause_rule r -> (r :: rs, fs)
+        | Clause_fact f -> (rs, f :: fs))
+      ([], []) clauses
+  in
+  (List.rev rules, List.rev facts)
+
+let program_of_string src =
+  let rules, facts = split (parse_string src) in
+  (Program.make rules, facts)

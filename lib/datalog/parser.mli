@@ -1,0 +1,33 @@
+(** Parser for the textual Datalog syntax.
+
+    Syntax:
+    {v
+      % line comment
+      path(X,Y) :- edge(X,Y).          % rule
+      path(X,Z) :- path(X,Y), edge(Y,Z).
+      edge(a,b).                        % fact (ground clause, no body)
+    v}
+
+    Identifiers starting with an uppercase letter or ['_'] are variables;
+    identifiers starting with a lowercase letter or a digit, integers, and
+    single-quoted strings are constants. A bare ['_'] is an anonymous
+    variable (fresh at each occurrence). *)
+
+exception Error of string
+(** Raised on syntax errors, with a message including line/column. *)
+
+type clause =
+  | Clause_rule of Rule.t
+  | Clause_fact of Fact.t
+
+val parse_string : string -> clause list
+(** @raise Error on malformed input. *)
+
+val parse_file : string -> clause list
+(** @raise Error on malformed input; @raise Sys_error on I/O failure. *)
+
+val split : clause list -> Rule.t list * Fact.t list
+(** Partitions clauses into rules and facts, preserving order. *)
+
+val program_of_string : string -> Program.t * Fact.t list
+(** Convenience: parse and split, building the program. *)

@@ -1,0 +1,145 @@
+module SymSet = Set.Make (Int)
+module SymMap = Map.Make (Int)
+
+type t = {
+  rules : Rule.t array;
+  edb : Symbol.t list;
+  idb : Symbol.t list;
+  arities : int SymMap.t;
+  by_head : Rule.t list SymMap.t;
+}
+
+let make rule_list =
+  let rules =
+    Array.of_list (List.mapi (fun i r -> Rule.with_id i r) rule_list)
+  in
+  let heads =
+    Array.fold_left
+      (fun acc r -> SymSet.add (Rule.head r).Atom.pred acc)
+      SymSet.empty rules
+  in
+  let arities = ref SymMap.empty in
+  let add_atom (a : Atom.t) =
+    (match SymMap.find_opt a.Atom.pred !arities with
+    | Some n when n <> Atom.arity a ->
+      invalid_arg
+        (Printf.sprintf "Program.make: predicate %s used with arities %d and %d"
+           (Symbol.name a.Atom.pred) n (Atom.arity a))
+    | _ -> ());
+    arities := SymMap.add a.Atom.pred (Atom.arity a) !arities
+  in
+  Array.iter
+    (fun r ->
+      add_atom (Rule.head r);
+      List.iter add_atom (Rule.body r))
+    rules;
+  let all_preds = SymMap.fold (fun p _ acc -> SymSet.add p acc) !arities SymSet.empty in
+  let idb = SymSet.elements heads in
+  let edb = SymSet.elements (SymSet.diff all_preds heads) in
+  let by_head =
+    Array.fold_left
+      (fun acc r ->
+        let p = (Rule.head r).Atom.pred in
+        let existing = Option.value ~default:[] (SymMap.find_opt p acc) in
+        SymMap.add p (existing @ [ r ]) acc)
+      SymMap.empty rules
+  in
+  { rules; edb; idb; arities = !arities; by_head }
+
+let rules t = Array.to_list t.rules
+
+let rule t id =
+  if id < 0 || id >= Array.length t.rules then invalid_arg "Program.rule"
+  else t.rules.(id)
+
+let edb t = t.edb
+let idb t = t.idb
+let schema t = List.sort Symbol.compare (t.edb @ t.idb)
+
+let is_idb t p = SymMap.mem p t.by_head
+let is_edb t p = SymMap.mem p t.arities && not (is_idb t p)
+
+let arity t p =
+  match SymMap.find_opt p t.arities with
+  | Some n -> n
+  | None -> raise Not_found
+
+let rules_for t p = Option.value ~default:[] (SymMap.find_opt p t.by_head)
+
+let predicate_edges t =
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  Array.iter
+    (fun r ->
+      let p = (Rule.head r).Atom.pred in
+      List.iter
+        (fun (b : Atom.t) ->
+          let edge = (b.Atom.pred, p) in
+          if not (Hashtbl.mem seen edge) then begin
+            Hashtbl.add seen edge ();
+            acc := edge :: !acc
+          end)
+        (Rule.body r))
+    t.rules;
+  List.rev !acc
+
+let is_linear t =
+  Array.for_all
+    (fun r ->
+      let idb_atoms =
+        List.filter (fun (a : Atom.t) -> is_idb t a.Atom.pred) (Rule.body r)
+      in
+      List.length idb_atoms <= 1)
+    t.rules
+
+let is_recursive t =
+  (* DFS cycle detection on the predicate graph. *)
+  let edges = predicate_edges t in
+  let succ = Hashtbl.create 64 in
+  List.iter
+    (fun (src, dst) ->
+      let existing = Option.value ~default:[] (Hashtbl.find_opt succ src) in
+      Hashtbl.replace succ src (dst :: existing))
+    edges;
+  let state = Hashtbl.create 64 in
+  (* 0 = unvisited (absent), 1 = on stack, 2 = done *)
+  let rec visit p =
+    match Hashtbl.find_opt state p with
+    | Some 1 -> true
+    | Some _ -> false
+    | None ->
+      Hashtbl.replace state p 1;
+      let cyclic =
+        List.exists visit (Option.value ~default:[] (Hashtbl.find_opt succ p))
+      in
+      Hashtbl.replace state p 2;
+      cyclic
+  in
+  List.exists (fun p -> visit p) (schema t)
+
+let query_class t =
+  let lin = if is_linear t then "linear" else "non-linear" in
+  let rec_ = if is_recursive t then "recursive" else "non-recursive" in
+  lin ^ ", " ^ rec_
+
+let check_database t db =
+  let check fact =
+    let p = Fact.pred fact in
+    if not (is_edb t p) then
+      Error
+        (Printf.sprintf "fact %s does not use an extensional predicate"
+           (Fact.to_string fact))
+    else if arity t p <> Fact.arity fact then
+      Error
+        (Printf.sprintf "fact %s has wrong arity (expected %d)"
+           (Fact.to_string fact) (arity t p))
+    else Ok ()
+  in
+  Fact.Set.fold
+    (fun fact acc -> match acc with Error _ -> acc | Ok () -> check fact)
+    db (Ok ())
+
+let pp ppf t =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_newline ppf ())
+    Rule.pp ppf (rules t)

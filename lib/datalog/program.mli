@@ -1,0 +1,51 @@
+(** Datalog programs: a finite set of rules, with the derived notions used
+    throughout the paper — extensional/intensional schema, predicate graph,
+    and the syntactic classes Dat / LDat (linear) / NRDat (non-recursive). *)
+
+type t
+
+val make : Rule.t list -> t
+(** Rules are re-numbered 0..n-1 in order. *)
+
+val rules : t -> Rule.t list
+val rule : t -> int -> Rule.t
+(** Rule by id. @raise Invalid_argument on out-of-range ids. *)
+
+val edb : t -> Symbol.t list
+(** Extensional predicates: never occur in a head. Sorted. *)
+
+val idb : t -> Symbol.t list
+(** Intensional predicates: occur in at least one head. Sorted. *)
+
+val schema : t -> Symbol.t list
+(** [edb ∪ idb], sorted. *)
+
+val is_edb : t -> Symbol.t -> bool
+val is_idb : t -> Symbol.t -> bool
+val arity : t -> Symbol.t -> int
+(** Arity of a predicate of the schema.
+    @raise Not_found if the predicate does not occur in the program. *)
+
+val rules_for : t -> Symbol.t -> Rule.t list
+(** All rules whose head predicate is the given predicate. *)
+
+val predicate_edges : t -> (Symbol.t * Symbol.t) list
+(** Edges of the predicate graph: [(r, p)] whenever some rule has head
+    predicate [p] and [r] occurs in its body. Deduplicated. *)
+
+val is_linear : t -> bool
+(** At most one intensional atom in every rule body (class LDat). *)
+
+val is_recursive : t -> bool
+(** True iff the predicate graph has a cycle. Non-recursive programs form
+    the class NRDat. *)
+
+val query_class : t -> string
+(** Human-readable classification as printed in Table 1, e.g.
+    ["linear, recursive"] or ["non-linear, non-recursive"]. *)
+
+val check_database : t -> Fact.Set.t -> (unit, string) result
+(** Checks that every fact uses an extensional predicate of the program
+    with the right arity. *)
+
+val pp : Format.formatter -> t -> unit

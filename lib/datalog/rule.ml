@@ -1,0 +1,54 @@
+type t = {
+  head : Atom.t;
+  body : Atom.t list;
+  id : int;
+}
+
+let vars_of_atoms atoms =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  List.iter
+    (fun atom ->
+      List.iter
+        (fun v ->
+          if not (Hashtbl.mem seen v) then begin
+            Hashtbl.add seen v ();
+            acc := v :: !acc
+          end)
+        (Atom.vars atom))
+    atoms;
+  List.rev !acc
+
+let make ?(id = -1) head body =
+  if body = [] then invalid_arg "Rule.make: empty body";
+  let body_vars = vars_of_atoms body in
+  let unsafe =
+    List.filter (fun v -> not (List.mem v body_vars)) (Atom.vars head)
+  in
+  (match unsafe with
+  | [] -> ()
+  | v :: _ ->
+    invalid_arg
+      (Printf.sprintf "Rule.make: unsafe rule, head variable %s not in body"
+         (Symbol.name v)));
+  { head; body; id }
+
+let with_id id r = { r with id }
+
+let head r = r.head
+let body r = r.body
+let vars r = vars_of_atoms (r.body @ [ r.head ])
+
+let equal r1 r2 =
+  Atom.equal r1.head r2.head
+  && List.length r1.body = List.length r2.body
+  && List.for_all2 Atom.equal r1.body r2.body
+
+let pp ppf r =
+  Format.fprintf ppf "%a :- %a." Atom.pp r.head
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Atom.pp)
+    r.body
+
+let to_string r = Format.asprintf "%a" pp r

@@ -1,0 +1,23 @@
+(** Datalog rules [head :- body]. *)
+
+type t = private {
+  head : Atom.t;
+  body : Atom.t list;  (** non-empty *)
+  id : int;            (** position of the rule in its program; -1 if free-standing *)
+}
+
+val make : ?id:int -> Atom.t -> Atom.t list -> t
+(** Builds a rule after checking safety: every variable of the head must
+    occur in the body.
+    @raise Invalid_argument if the rule is unsafe or the body is empty. *)
+
+val with_id : int -> t -> t
+
+val head : t -> Atom.t
+val body : t -> Atom.t list
+val vars : t -> Symbol.t list
+(** All variables of the rule, in order of first occurrence (body first). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

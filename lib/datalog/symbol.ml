@@ -1,0 +1,33 @@
+type t = int
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 4096
+let names : string Util.Vec.t = Util.Vec.create ()
+
+let intern s =
+  match Hashtbl.find_opt table s with
+  | Some id -> id
+  | None ->
+    let id = Util.Vec.length names in
+    Hashtbl.add table s id;
+    Util.Vec.push names s;
+    id
+
+let name id =
+  if id < 0 || id >= Util.Vec.length names then
+    invalid_arg (Printf.sprintf "Symbol.name: unknown symbol %d" id)
+  else Util.Vec.get names id
+
+let fresh hint =
+  let rec try_suffix i =
+    let candidate = Printf.sprintf "%s#%d" hint i in
+    if Hashtbl.mem table candidate then try_suffix (i + 1)
+    else intern candidate
+  in
+  try_suffix (Util.Vec.length names)
+
+let known s = Hashtbl.mem table s
+let count () = Util.Vec.length names
+let equal = Int.equal
+let compare = Int.compare
+let hash = Hashtbl.hash
+let pp ppf id = Format.pp_print_string ppf (name id)

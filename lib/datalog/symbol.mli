@@ -1,0 +1,30 @@
+(** Global string interner.
+
+    Constants, predicate names and variable names are interned to small
+    integers so that facts can be hashed and compared cheaply everywhere
+    else in the system (databases, supports, SAT variable maps). *)
+
+type t = int
+(** An interned symbol. Equal strings intern to equal integers. *)
+
+val intern : string -> t
+(** [intern s] returns the unique symbol for the string [s]. *)
+
+val name : t -> string
+(** [name sym] is the string that was interned to [sym].
+    @raise Invalid_argument if [sym] was never returned by {!intern}. *)
+
+val fresh : string -> t
+(** [fresh hint] creates a brand-new symbol whose printed name starts with
+    [hint] and is distinct from every symbol interned so far. *)
+
+val known : string -> bool
+(** [known s] is [true] iff [s] has already been interned. *)
+
+val count : unit -> int
+(** Number of symbols interned so far. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,17 @@
+(** Terms: variables and constants. *)
+
+type t =
+  | Var of Symbol.t    (** a rule variable *)
+  | Const of Symbol.t  (** a constant from the active domain *)
+
+val var : string -> t
+val const : string -> t
+
+val is_var : t -> bool
+val is_const : t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

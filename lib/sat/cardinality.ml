@@ -1,0 +1,42 @@
+(* Totalizer: a balanced tree of unary mergers. A node over m inputs has
+   m output literals in sorted unary order; merging children [a] and [b]
+   emits, for every i, j, the clause  a_i ∧ b_j → o_{i+j}  (with the
+   conventions a_0 = b_0 = true), which forces o_k whenever at least k
+   inputs are true. *)
+
+let merge solver a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.init (la + lb) (fun _ -> Lit.pos (Solver.new_var solver)) in
+  for i = 0 to la do
+    for j = 0 to lb do
+      if i + j > 0 then begin
+        let clause = ref [ out.(i + j - 1) ] in
+        if i > 0 then clause := Lit.negate a.(i - 1) :: !clause;
+        if j > 0 then clause := Lit.negate b.(j - 1) :: !clause;
+        Solver.add_clause solver !clause
+      end
+    done
+  done;
+  out
+
+let rec build solver lits =
+  match lits with
+  | [] -> [||]
+  | [ l ] -> [| l |]
+  | _ ->
+    let n = List.length lits in
+    let rec split i acc rest =
+      if i = 0 then (List.rev acc, rest)
+      else
+        match rest with
+        | [] -> (List.rev acc, [])
+        | x :: rest -> split (i - 1) (x :: acc) rest
+    in
+    let left, right = split (n / 2) [] lits in
+    merge solver (build solver left) (build solver right)
+
+let outputs solver lits = build solver lits
+
+let at_most solver lits k =
+  let out = outputs solver lits in
+  if k < Array.length out then Solver.add_clause solver [ Lit.negate out.(k) ]

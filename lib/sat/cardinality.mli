@@ -1,0 +1,19 @@
+(** Totalizer cardinality encoding (Bailleux & Boutaouche 2003).
+
+    [outputs s lits] adds clauses to [s] defining a sorted unary counter
+    over [lits]: output variable [o.(i)] (0-based) is forced true
+    whenever at least [i+1] of the literals are true. Constraining
+    "at most k" is then a single assumption [¬o.(k)], which is how the
+    enumerator produces why-provenance members in order of
+    non-decreasing support size.
+
+    Only the ≥-direction clauses are emitted (sufficient for upper
+    bounds used as assumptions). Clause count is O(n²) in the worst
+    case; intended for inputs up to a few thousand literals. *)
+
+val outputs : Solver.t -> Lit.t list -> Lit.t array
+(** Returns the output literals, length = [List.length lits]. *)
+
+val at_most : Solver.t -> Lit.t list -> int -> unit
+(** [at_most s lits k] adds a hard constraint that at most [k] of the
+    literals are true (a unit clause on the totalizer output). *)

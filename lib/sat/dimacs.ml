@@ -1,0 +1,51 @@
+let to_buffer buf ~nvars clauses =
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" nvars (List.length clauses));
+  List.iter
+    (fun clause ->
+      List.iter
+        (fun l -> Buffer.add_string buf (Printf.sprintf "%d " (Lit.to_int l)))
+        clause;
+      Buffer.add_string buf "0\n")
+    clauses
+
+let to_string ~nvars clauses =
+  let buf = Buffer.create 4096 in
+  to_buffer buf ~nvars clauses;
+  Buffer.contents buf
+
+let to_channel oc ~nvars clauses =
+  let buf = Buffer.create 4096 in
+  to_buffer buf ~nvars clauses;
+  Buffer.output_buffer oc buf
+
+let of_string src =
+  let nvars = ref 0 in
+  let clauses = ref [] in
+  let current = ref [] in
+  let lines = String.split_on_char '\n' src in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if String.length line = 0 || line.[0] = 'c' then ()
+      else if line.[0] = 'p' then begin
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | [ "p"; "cnf"; nv; _nc ] -> nvars := int_of_string nv
+        | _ -> failwith "Dimacs.of_string: malformed problem line"
+      end
+      else
+        String.split_on_char ' ' line
+        |> List.filter (fun s -> s <> "")
+        |> List.iter (fun tok ->
+               let i =
+                 try int_of_string tok
+                 with _ -> failwith "Dimacs.of_string: malformed literal"
+               in
+               if i = 0 then begin
+                 clauses := List.rev !current :: !clauses;
+                 current := []
+               end
+               else current := Lit.of_int i :: !current))
+    lines;
+  if !current <> [] then clauses := List.rev !current :: !clauses;
+  (!nvars, List.rev !clauses)

@@ -1,0 +1,10 @@
+(** DIMACS CNF reading and writing, for interoperability and debugging. *)
+
+val to_string : nvars:int -> Lit.t list list -> string
+(** Renders a clause list in DIMACS CNF format. *)
+
+val to_channel : out_channel -> nvars:int -> Lit.t list list -> unit
+
+val of_string : string -> int * Lit.t list list
+(** Parses a DIMACS CNF document; returns [(nvars, clauses)].
+    @raise Failure on malformed input. *)

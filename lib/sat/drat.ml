@@ -1,0 +1,143 @@
+(* A naive DRAT (actually DRUP: all additions are checked as RUP)
+   verifier. Clauses are kept as sorted literal lists; propagation is a
+   plain fixpoint scan — quadratic, fine for test-sized formulas. *)
+
+type line =
+  | Add of Lit.t list
+  | Delete of Lit.t list
+
+let parse_proof proof =
+  let lines = String.split_on_char '\n' proof in
+  List.filter_map
+    (fun raw ->
+      let raw = String.trim raw in
+      if raw = "" || raw.[0] = 'c' then None
+      else begin
+        let deletion = String.length raw > 1 && raw.[0] = 'd' && raw.[1] = ' ' in
+        let body = if deletion then String.sub raw 2 (String.length raw - 2) else raw in
+        let lits =
+          String.split_on_char ' ' body
+          |> List.filter (fun s -> s <> "")
+          |> List.map int_of_string
+          |> List.filter (fun i -> i <> 0)
+          |> List.map Lit.of_int
+        in
+        Some (if deletion then Delete lits else Add lits)
+      end)
+    lines
+
+let normalize lits = List.sort_uniq compare lits
+
+(* Unit propagation to fixpoint over [clauses] starting from the
+   assignment [assign] (an array indexed by variable: 0 unassigned,
+   1 true, -1 false). Returns [true] if a conflict was derived. *)
+let propagate nvars clauses assign =
+  let value l =
+    let v = Lit.var l in
+    if v >= nvars then 0
+    else begin
+      let a = assign.(v) in
+      if a = 0 then 0 else if (a = 1) = Lit.sign l then 1 else -1
+    end
+  in
+  let conflict = ref false in
+  let changed = ref true in
+  while !changed && not !conflict do
+    changed := false;
+    List.iter
+      (fun clause ->
+        if not !conflict then begin
+          let unassigned = ref [] in
+          let satisfied = ref false in
+          List.iter
+            (fun l ->
+              match value l with
+              | 1 -> satisfied := true
+              | 0 -> unassigned := l :: !unassigned
+              | _ -> ())
+            clause;
+          if not !satisfied then
+            match !unassigned with
+            | [] -> conflict := true
+            | [ l ] ->
+              assign.(Lit.var l) <- (if Lit.sign l then 1 else -1);
+              changed := true
+            | _ -> ()
+        end)
+      clauses
+  done;
+  !conflict
+
+let rup_implied nvars clauses lemma =
+  (* Assume the negation of every lemma literal, then propagate: the
+     lemma is RUP iff this yields a conflict. *)
+  let assign = Array.make (max nvars 1) 0 in
+  let consistent =
+    List.for_all
+      (fun l ->
+        let v = Lit.var l in
+        let desired = if Lit.sign l then -1 else 1 in
+        if assign.(v) = 0 then begin
+          assign.(v) <- desired;
+          true
+        end
+        else assign.(v) = desired)
+      lemma
+  in
+  (* An inconsistent negation (lemma contains l and ¬l) makes the lemma
+     a tautology, which is trivially fine. *)
+  (not consistent) || propagate nvars clauses assign
+
+let run ~require_empty ~nvars ~original ~proof =
+  let lines = parse_proof proof in
+  let clauses = ref (List.map normalize original) in
+  let verified = ref 0 in
+  let max_var = ref nvars in
+  List.iter
+    (fun line ->
+      match line with
+      | Add lemma | Delete lemma ->
+        List.iter (fun l -> max_var := max !max_var (Lit.var l + 1)) lemma)
+    lines;
+  let nvars = !max_var in
+  let rec go lines =
+    match lines with
+    | [] ->
+      if not require_empty then Ok !verified
+      else if List.exists (fun c -> c = []) !clauses then Ok !verified
+      else Error "proof ends without deriving the empty clause"
+    | Add lemma :: rest ->
+      if rup_implied nvars !clauses lemma then begin
+        incr verified;
+        clauses := normalize lemma :: !clauses;
+        go rest
+      end
+      else
+        Error
+          (Printf.sprintf "lemma %s is not RUP"
+             (String.concat " " (List.map (fun l -> string_of_int (Lit.to_int l)) lemma)))
+    | Delete lemma :: rest ->
+      let target = normalize lemma in
+      let rec remove = function
+        | [] -> None
+        | c :: cs when c = target -> Some cs
+        | c :: cs -> Option.map (fun cs -> c :: cs) (remove cs)
+      in
+      (match remove !clauses with
+      | Some remaining ->
+        clauses := remaining;
+        go rest
+      | None ->
+        (* Deleting an absent clause is tolerated by DRAT checkers (the
+           solver may delete clauses it strengthened); skip it. *)
+        go rest)
+  in
+  go lines
+
+let check ~nvars ~original ~proof =
+  match run ~require_empty:true ~nvars ~original ~proof with
+  | Ok _ -> Ok ()
+  | Error e -> Error e
+
+let check_lemmas ~nvars ~original ~proof =
+  run ~require_empty:false ~nvars ~original ~proof

@@ -1,0 +1,34 @@
+(** DRAT proof emission support and an independent RUP proof checker.
+
+    When proof logging is enabled on a {!Solver.t}, every learnt clause,
+    level-0 unit, clause strengthening and clause deletion is recorded
+    in the standard DRAT format; an UNSAT answer (without assumptions)
+    ends the trace with the empty clause. {!check} then replays the
+    proof against the original formula with reverse-unit-propagation
+    checks, giving end-to-end certification that the solver's UNSAT
+    answers — and hence the completeness of the why-provenance
+    enumeration, whose termination rests on an UNSAT answer — are
+    sound.
+
+    The checker is deliberately simple (naive unit propagation, clause
+    multiset as lists); it is an oracle for tests, not a competition
+    checker. *)
+
+val check :
+  nvars:int ->
+  original:Lit.t list list ->
+  proof:string ->
+  (unit, string) result
+(** Verifies that [proof] (DRAT text) is a valid derivation of the
+    empty clause from [original]: every addition line must be RUP with
+    respect to the current clause set, deletions must name present
+    clauses, and the empty clause must be derived. *)
+
+val check_lemmas :
+  nvars:int ->
+  original:Lit.t list list ->
+  proof:string ->
+  (int, string) result
+(** Like {!check} but does not require the empty clause; returns the
+    number of verified additions. Used for SAT answers, where the trace
+    contains lemmas only. *)

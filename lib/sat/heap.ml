@@ -1,0 +1,82 @@
+module Vec = Util.Vec
+
+type t = {
+  score : int -> float;
+  heap : int Vec.t;          (* heap of variables *)
+  mutable indices : int array;  (* var -> position in heap, or -1 *)
+}
+
+let create ~score = { score; heap = Vec.create (); indices = [||] }
+
+let ensure t v =
+  let n = Array.length t.indices in
+  if v >= n then begin
+    let n' = max (v + 1) (max 16 (2 * n)) in
+    let indices' = Array.make n' (-1) in
+    Array.blit t.indices 0 indices' 0 n;
+    t.indices <- indices'
+  end
+
+let in_heap t v = v < Array.length t.indices && t.indices.(v) >= 0
+
+let swap t i j =
+  let vi = Vec.get t.heap i and vj = Vec.get t.heap j in
+  Vec.set t.heap i vj;
+  Vec.set t.heap j vi;
+  t.indices.(vi) <- j;
+  t.indices.(vj) <- i
+
+let rec up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.score (Vec.get t.heap i) > t.score (Vec.get t.heap parent) then begin
+      swap t i parent;
+      up t parent
+    end
+  end
+
+let rec down t i =
+  let n = Vec.length t.heap in
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let largest = ref i in
+  if left < n && t.score (Vec.get t.heap left) > t.score (Vec.get t.heap !largest)
+  then largest := left;
+  if right < n && t.score (Vec.get t.heap right) > t.score (Vec.get t.heap !largest)
+  then largest := right;
+  if !largest <> i then begin
+    swap t i !largest;
+    down t !largest
+  end
+
+let insert t v =
+  ensure t v;
+  if t.indices.(v) < 0 then begin
+    let i = Vec.length t.heap in
+    Vec.push t.heap v;
+    t.indices.(v) <- i;
+    up t i
+  end
+
+let remove_max t =
+  let n = Vec.length t.heap in
+  if n = 0 then None
+  else begin
+    let v = Vec.get t.heap 0 in
+    let last = Vec.pop t.heap in
+    t.indices.(v) <- -1;
+    if n > 1 then begin
+      Vec.set t.heap 0 last;
+      t.indices.(last) <- 0;
+      down t 0
+    end;
+    Some v
+  end
+
+let decrease t v = if in_heap t v then up t t.indices.(v)
+
+let rebuild t vars =
+  Vec.iter (fun v -> t.indices.(v) <- -1) t.heap;
+  Vec.clear t.heap;
+  List.iter (insert t) vars
+
+let size t = Vec.length t.heap

@@ -1,0 +1,24 @@
+(** Indexed binary max-heap over variables, ordered by a mutable score
+    array. Used for the VSIDS decision order: the solver bumps scores and
+    the heap restores the invariant lazily via {!decrease}/{!increase}. *)
+
+type t
+
+val create : score:(int -> float) -> t
+(** [create ~score] builds an empty heap; [score v] must return the
+    current activity of variable [v] whenever the heap compares. *)
+
+val in_heap : t -> int -> bool
+val insert : t -> int -> unit
+(** Inserts a variable; no-op if already present. Grows internal storage
+    as needed. *)
+
+val remove_max : t -> int option
+val decrease : t -> int -> unit
+(** Notify that [v]'s score increased (so [v] may move up). The name
+    follows MiniSat: the heap index decreases. No-op if absent. *)
+
+val rebuild : t -> int list -> unit
+(** Clears and re-inserts the given variables. *)
+
+val size : t -> int

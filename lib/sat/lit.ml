@@ -1,0 +1,17 @@
+type t = int
+
+let make v sign = (v lsl 1) lor (if sign then 0 else 1)
+let pos v = v lsl 1
+let neg v = (v lsl 1) lor 1
+let var l = l lsr 1
+let sign l = l land 1 = 0
+let negate l = l lxor 1
+
+let to_int l = if sign l then var l + 1 else -(var l + 1)
+
+let of_int i =
+  if i = 0 then invalid_arg "Lit.of_int: zero"
+  else if i > 0 then pos (i - 1)
+  else neg (-i - 1)
+
+let pp ppf l = Format.fprintf ppf "%d" (to_int l)

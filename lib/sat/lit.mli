@@ -1,0 +1,26 @@
+(** Literals packed as integers.
+
+    Variable [v] (0-based) yields the positive literal [2*v] and the
+    negative literal [2*v+1]. This is the MiniSat convention: negation is
+    a single xor, and literals index arrays directly. *)
+
+type t = int
+
+val make : int -> bool -> t
+(** [make v sign] is the literal for variable [v]; [sign = true] means
+    positive. *)
+
+val pos : int -> t
+val neg : int -> t
+val var : t -> int
+val sign : t -> bool
+(** [true] for positive literals. *)
+
+val negate : t -> t
+val to_int : t -> int
+(** DIMACS encoding: variable+1, negative if the literal is negative. *)
+
+val of_int : int -> t
+(** Inverse of {!to_int}. @raise Invalid_argument on 0. *)
+
+val pp : Format.formatter -> t -> unit

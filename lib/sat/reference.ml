@@ -1,0 +1,129 @@
+let eval_clause assignment clause =
+  List.exists
+    (fun l ->
+      let v = assignment.(Lit.var l) in
+      if Lit.sign l then v else not v)
+    clause
+
+let eval assignment clauses = List.for_all (eval_clause assignment) clauses
+
+let brute_force ~nvars clauses =
+  let assignment = Array.make (max nvars 1) false in
+  let rec loop v =
+    if v >= nvars then if eval assignment clauses then Some (Array.copy assignment) else None
+    else begin
+      assignment.(v) <- false;
+      match loop (v + 1) with
+      | Some _ as r -> r
+      | None ->
+        assignment.(v) <- true;
+        loop (v + 1)
+    end
+  in
+  if nvars = 0 then (if eval assignment clauses then Some [||] else None)
+  else loop 0
+
+let count_models ~nvars clauses =
+  let assignment = Array.make (max nvars 1) false in
+  let rec loop v =
+    if v >= nvars then if eval assignment clauses then 1 else 0
+    else begin
+      assignment.(v) <- false;
+      let a = loop (v + 1) in
+      assignment.(v) <- true;
+      a + loop (v + 1)
+    end
+  in
+  loop 0
+
+type lbool = Ltrue | Lfalse | Lundef
+
+exception Cut
+
+let dpll_limited ~max_decisions ~nvars clauses =
+  let decisions = ref 0 in
+  let assignment = Array.make (max nvars 1) Lundef in
+  let value l =
+    match assignment.(Lit.var l) with
+    | Lundef -> Lundef
+    | Ltrue -> if Lit.sign l then Ltrue else Lfalse
+    | Lfalse -> if Lit.sign l then Lfalse else Ltrue
+  in
+  (* Returns (conflict, unit literals) for the current assignment. *)
+  let scan () =
+    let units = ref [] in
+    let conflict = ref false in
+    List.iter
+      (fun clause ->
+        if not !conflict then begin
+          let sat = ref false in
+          let unassigned = ref [] in
+          List.iter
+            (fun l ->
+              match value l with
+              | Ltrue -> sat := true
+              | Lfalse -> ()
+              | Lundef -> unassigned := l :: !unassigned)
+            clause;
+          if not !sat then
+            match !unassigned with
+            | [] -> conflict := true
+            | [ l ] -> units := l :: !units
+            | _ -> ()
+        end)
+      clauses;
+    (!conflict, !units)
+  in
+  let set l = assignment.(Lit.var l) <- (if Lit.sign l then Ltrue else Lfalse) in
+  let unset l = assignment.(Lit.var l) <- Lundef in
+  let rec propagate assigned =
+    let conflict, units = scan () in
+    if conflict then (false, assigned)
+    else
+      match List.filter (fun l -> value l = Lundef) units with
+      | [] -> (true, assigned)
+      | fresh ->
+        List.iter set fresh;
+        propagate (fresh @ assigned)
+  in
+  let rec search () =
+    let ok, assigned = propagate [] in
+    let undo () = List.iter unset assigned in
+    if not ok then begin
+      undo ();
+      false
+    end
+    else begin
+      let rec first_unassigned v =
+        if v >= nvars then None
+        else if assignment.(v) = Lundef then Some v
+        else first_unassigned (v + 1)
+      in
+      match first_unassigned 0 with
+      | None -> true (* all assigned, no conflict: SAT *)
+      | Some v ->
+        incr decisions;
+        if !decisions > max_decisions then raise Cut;
+        assignment.(v) <- Lfalse;
+        if search () then true
+        else begin
+          assignment.(v) <- Ltrue;
+          if search () then true
+          else begin
+            assignment.(v) <- Lundef;
+            undo ();
+            false
+          end
+        end
+    end
+  in
+  match search () with
+  | true -> `Sat (Array.init nvars (fun v -> assignment.(v) = Ltrue))
+  | false -> `Unsat
+  | exception Cut -> `Cut
+
+let dpll ~nvars clauses =
+  match dpll_limited ~max_decisions:max_int ~nvars clauses with
+  | `Sat m -> Some m
+  | `Unsat -> None
+  | `Cut -> assert false

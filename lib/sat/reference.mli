@@ -1,0 +1,18 @@
+(** Reference solvers used as test oracles and as the DPLL ablation
+    baseline. Exponential; only for small formulas and benchmarks. *)
+
+val brute_force : nvars:int -> Lit.t list list -> bool array option
+(** Truth-table search: first satisfying assignment in lexicographic
+    order, or [None]. Only sensible for [nvars <= 25] or so. *)
+
+val count_models : nvars:int -> Lit.t list list -> int
+(** Number of satisfying assignments over exactly [nvars] variables. *)
+
+val dpll : nvars:int -> Lit.t list list -> bool array option
+(** Plain DPLL: unit propagation + first-unassigned branching, no
+    learning. Used by the CDCL-vs-DPLL ablation bench. *)
+
+val dpll_limited :
+  max_decisions:int -> nvars:int -> Lit.t list list ->
+  [ `Sat of bool array | `Unsat | `Cut ]
+(** DPLL with a decision budget; [`Cut] when exceeded. *)

@@ -1,0 +1,665 @@
+module Vec = Util.Vec
+
+type result =
+  | Sat
+  | Unsat
+
+(* Truth value of a literal/variable: we store, per variable, the parity
+   of the true literal (0 if the variable is true, 1 if false), or -1
+   when unassigned. [Lit.t land 1] is 0 for positive literals, so a
+   literal [l] is true iff [assigns.(var l) = l land 1]. *)
+let v_undef = -1
+
+type clause = {
+  mutable lits : Lit.t array;
+  learnt : bool;
+  mutable act : float;
+  mutable lbd : int;
+  mutable deleted : bool;
+}
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learnt_literals : int;
+  deleted_clauses : int;
+}
+
+type t = {
+  mutable clauses : clause Vec.t;
+  mutable learnts : clause Vec.t;
+  mutable watches : clause Vec.t array; (* indexed by literal *)
+  mutable assigns : int array;          (* var -> v_undef | 0 | 1 *)
+  mutable levels : int array;           (* var -> decision level *)
+  mutable reasons : clause option array;
+  mutable activity : float array;
+  mutable polarity : bool array;        (* saved phase *)
+  mutable seen : bool array;            (* scratch for analyze *)
+  trail : Lit.t Vec.t;
+  trail_lim : int Vec.t;
+  mutable qhead : int;
+  mutable nvars : int;
+  order : Heap.t;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable ok : bool;
+  mutable proof_buf : Buffer.t option;  (* DRAT trace when logging is on *)
+  mutable simp_trail_size : int;  (* level-0 trail length at last simplify *)
+  mutable default_polarity : bool;
+  mutable model_ : bool array option;
+  mutable max_learnts : int;
+  (* statistics *)
+  mutable n_conflicts : int;
+  mutable n_decisions : int;
+  mutable n_propagations : int;
+  mutable n_restarts : int;
+  mutable n_learnt_lits : int;
+  mutable n_deleted : int;
+}
+
+let create () =
+  let rec t =
+    lazy
+      {
+        clauses = Vec.create ();
+        learnts = Vec.create ();
+        watches = [||];
+        assigns = [||];
+        levels = [||];
+        reasons = [||];
+        activity = [||];
+        polarity = [||];
+        seen = [||];
+        trail = Vec.create ();
+        trail_lim = Vec.create ();
+        qhead = 0;
+        nvars = 0;
+        order = Heap.create ~score:(fun v -> (Lazy.force t).activity.(v));
+        var_inc = 1.0;
+        cla_inc = 1.0;
+        ok = true;
+        proof_buf = None;
+        simp_trail_size = -1;
+        default_polarity = false;
+        model_ = None;
+        max_learnts = 8000;
+        n_conflicts = 0;
+        n_decisions = 0;
+        n_propagations = 0;
+        n_restarts = 0;
+        n_learnt_lits = 0;
+        n_deleted = 0;
+      }
+  in
+  Lazy.force t
+
+let num_vars t = t.nvars
+
+let grow_arrays t n =
+  let cap = Array.length t.assigns in
+  if n > cap then begin
+    let cap' = max n (max 16 (2 * cap)) in
+    let grow a default =
+      let a' = Array.make cap' default in
+      Array.blit a 0 a' 0 cap;
+      a'
+    in
+    t.assigns <- grow t.assigns v_undef;
+    t.levels <- grow t.levels 0;
+    t.reasons <- grow t.reasons None;
+    t.activity <- grow t.activity 0.0;
+    t.polarity <- grow t.polarity t.default_polarity;
+    t.seen <- grow t.seen false;
+    let w' = Array.init (2 * cap') (fun i ->
+        if i < Array.length t.watches then t.watches.(i) else Vec.create ())
+    in
+    t.watches <- w'
+  end
+
+let new_var t =
+  let v = t.nvars in
+  grow_arrays t (v + 1);
+  t.nvars <- v + 1;
+  t.polarity.(v) <- t.default_polarity;
+  Heap.insert t.order v;
+  v
+
+let ensure_vars t n = while t.nvars < n do ignore (new_var t) done
+
+let set_default_polarity t b = t.default_polarity <- b
+
+(* --- DRAT proof logging ----------------------------------------------- *)
+
+let proof t =
+  match t.proof_buf with Some b -> Buffer.contents b | None -> ""
+
+let log_lits t prefix lits =
+  match t.proof_buf with
+  | None -> ()
+  | Some buf ->
+    Buffer.add_string buf prefix;
+    Array.iter
+      (fun l ->
+        Buffer.add_string buf (string_of_int (Lit.to_int l));
+        Buffer.add_char buf ' ')
+      lits;
+    Buffer.add_string buf "0\n"
+
+let log_add t lits = log_lits t "" lits
+let log_delete t lits = log_lits t "d " lits
+let log_empty t = log_lits t "" [||]
+
+let enable_proof_logging t =
+  if t.proof_buf = None then begin
+    t.proof_buf <- Some (Buffer.create 4096);
+    (* Top-level assignments made before logging started are unit
+       consequences of the clauses added so far; emit them now so that
+       later deletions of clauses they satisfy remain checkable. *)
+    if Vec.length t.trail_lim = 0 then
+      Vec.iter (fun l -> log_add t [| l |]) t.trail
+  end
+
+let lit_value t l =
+  let a = t.assigns.(Lit.var l) in
+  if a = v_undef then v_undef else if a = l land 1 then 1 else 0
+(* 1 = true, 0 = false, v_undef = unassigned *)
+
+let decision_level t = Vec.length t.trail_lim
+
+(* --- Activity ------------------------------------------------------- *)
+
+let var_decay = 1.0 /. 0.95
+let cla_decay = 1.0 /. 0.999
+
+let bump_var t v =
+  t.activity.(v) <- t.activity.(v) +. t.var_inc;
+  if t.activity.(v) > 1e100 then begin
+    for i = 0 to t.nvars - 1 do
+      t.activity.(i) <- t.activity.(i) *. 1e-100
+    done;
+    t.var_inc <- t.var_inc *. 1e-100
+  end;
+  Heap.decrease t.order v
+
+let bump_clause t c =
+  c.act <- c.act +. t.cla_inc;
+  if c.act > 1e20 then begin
+    Vec.iter (fun c -> c.act <- c.act *. 1e-20) t.learnts;
+    t.cla_inc <- t.cla_inc *. 1e-20
+  end
+
+let decay_activities t =
+  t.var_inc <- t.var_inc *. var_decay;
+  t.cla_inc <- t.cla_inc *. cla_decay
+
+(* --- Assignment / trail --------------------------------------------- *)
+
+let enqueue t l reason =
+  let v = Lit.var l in
+  t.assigns.(v) <- l land 1;
+  t.levels.(v) <- decision_level t;
+  t.reasons.(v) <- reason;
+  (* Every top-level assignment is a unit consequence of the current
+     clause set; record it so later strengthenings check as RUP. *)
+  if decision_level t = 0 && t.proof_buf <> None then log_add t [| l |];
+  Vec.push t.trail l
+
+let backtrack t level =
+  if decision_level t > level then begin
+    let bound = Vec.get t.trail_lim level in
+    for i = Vec.length t.trail - 1 downto bound do
+      let l = Vec.get t.trail i in
+      let v = Lit.var l in
+      t.assigns.(v) <- v_undef;
+      t.polarity.(v) <- Lit.sign l;
+      t.reasons.(v) <- None;
+      if not (Heap.in_heap t.order v) then Heap.insert t.order v
+    done;
+    Vec.shrink t.trail bound;
+    Vec.shrink t.trail_lim level;
+    t.qhead <- Vec.length t.trail
+  end
+
+(* --- Watches --------------------------------------------------------- *)
+
+let attach t c =
+  (* Clause watches its first two literals; it is registered under the
+     negation of each watch so that assigning that negation true visits it. *)
+  Vec.push t.watches.(Lit.negate c.lits.(0)) c;
+  Vec.push t.watches.(Lit.negate c.lits.(1)) c
+
+let propagate t =
+  let conflict = ref None in
+  while !conflict = None && t.qhead < Vec.length t.trail do
+    let p = Vec.get t.trail t.qhead in
+    t.qhead <- t.qhead + 1;
+    t.n_propagations <- t.n_propagations + 1;
+    let ws = t.watches.(p) in
+    let n = Vec.length ws in
+    let j = ref 0 in
+    let i = ref 0 in
+    while !i < n do
+      let c = Vec.get ws !i in
+      incr i;
+      if c.deleted then () (* drop lazily *)
+      else if !conflict <> None then begin
+        Vec.set ws !j c;
+        incr j
+      end
+      else begin
+        let false_lit = Lit.negate p in
+        if c.lits.(0) = false_lit then begin
+          c.lits.(0) <- c.lits.(1);
+          c.lits.(1) <- false_lit
+        end;
+        (* Now lits.(1) = false_lit. *)
+        if lit_value t c.lits.(0) = 1 then begin
+          (* Clause satisfied: keep the watch. *)
+          Vec.set ws !j c;
+          incr j
+        end
+        else begin
+          (* Look for a non-false literal to watch instead. *)
+          let len = Array.length c.lits in
+          let rec find k = if k >= len then -1 else if lit_value t c.lits.(k) <> 0 then k else find (k + 1) in
+          let k = find 2 in
+          if k >= 0 then begin
+            c.lits.(1) <- c.lits.(k);
+            c.lits.(k) <- false_lit;
+            Vec.push t.watches.(Lit.negate c.lits.(1)) c
+            (* watch moved: do not keep in ws *)
+          end
+          else begin
+            (* Unit or conflicting. *)
+            Vec.set ws !j c;
+            incr j;
+            if lit_value t c.lits.(0) = 0 then conflict := Some c
+            else enqueue t c.lits.(0) (Some c)
+          end
+        end
+      end
+    done;
+    (* Compact the watch list. *)
+    Vec.shrink ws !j
+  done;
+  !conflict
+
+(* --- Conflict analysis ----------------------------------------------- *)
+
+let analyze t confl =
+  (* First-UIP learning with local minimization. Returns the learnt
+     clause (asserting literal first) and the backjump level. *)
+  let learnt = Vec.create () in
+  Vec.push learnt 0 (* placeholder for the asserting literal *);
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let c = ref confl in
+  let trail_idx = ref (Vec.length t.trail - 1) in
+  let continue_loop = ref true in
+  while !continue_loop do
+    bump_clause t !c;
+    if !c.learnt && !c.lbd > 2 then begin
+      (* Glucose-style: refresh the LBD of used learnt clauses. *)
+      let levels = Hashtbl.create 8 in
+      Array.iter (fun l -> Hashtbl.replace levels t.levels.(Lit.var l) ()) !c.lits;
+      !c.lbd <- Hashtbl.length levels
+    end;
+    Array.iter
+      (fun q ->
+        if q <> !p then begin
+          let v = Lit.var q in
+          if (not t.seen.(v)) && t.levels.(v) > 0 then begin
+            t.seen.(v) <- true;
+            bump_var t v;
+            if t.levels.(v) >= decision_level t then incr counter
+            else Vec.push learnt q
+          end
+        end)
+      !c.lits;
+    (* Select next literal to expand: last seen literal on the trail. *)
+    while not t.seen.(Lit.var (Vec.get t.trail !trail_idx)) do
+      decr trail_idx
+    done;
+    let pl = Vec.get t.trail !trail_idx in
+    decr trail_idx;
+    t.seen.(Lit.var pl) <- false;
+    decr counter;
+    p := pl;
+    if !counter = 0 then continue_loop := false
+    else
+      c :=
+        (match t.reasons.(Lit.var pl) with
+        | Some cl -> cl
+        | None -> assert false)
+  done;
+  Vec.set learnt 0 (Lit.negate !p);
+  (* Local minimization: drop literals implied by the rest. *)
+  let redundant q =
+    match t.reasons.(Lit.var q) with
+    | None -> false
+    | Some cl ->
+      Array.for_all
+        (fun l ->
+          l = Lit.negate q || t.seen.(Lit.var l) || t.levels.(Lit.var l) = 0)
+        cl.lits
+  in
+  Vec.iter (fun q -> t.seen.(Lit.var q) <- true) learnt;
+  let kept = Vec.create () in
+  Vec.iteri
+    (fun i q -> if i = 0 || not (redundant q) then Vec.push kept q)
+    learnt;
+  Vec.iter (fun q -> t.seen.(Lit.var q) <- false) learnt;
+  (* Backjump level: max level among kept literals after the first. *)
+  let btlevel = ref 0 in
+  let swap_pos = ref 1 in
+  Vec.iteri
+    (fun i q ->
+      if i > 0 then begin
+        let lv = t.levels.(Lit.var q) in
+        if lv > !btlevel then begin
+          btlevel := lv;
+          swap_pos := i
+        end
+      end)
+    kept;
+  (* Put a highest-level literal in position 1 (second watch). *)
+  if Vec.length kept > 1 then begin
+    let tmp = Vec.get kept 1 in
+    Vec.set kept 1 (Vec.get kept !swap_pos);
+    Vec.set kept !swap_pos tmp
+  end;
+  let lits = Vec.to_array kept in
+  let levels = Hashtbl.create 8 in
+  Array.iter (fun l -> Hashtbl.replace levels t.levels.(Lit.var l) ()) lits;
+  let clause =
+    { lits; learnt = true; act = 0.0; lbd = Hashtbl.length levels; deleted = false }
+  in
+  (clause, !btlevel)
+
+(* --- Clause management ----------------------------------------------- *)
+
+let add_clause t lits =
+  assert (decision_level t = 0);
+  t.model_ <- None;
+  if t.ok then begin
+    List.iter (fun l -> ensure_vars t (Lit.var l + 1)) lits;
+    (* Sort, dedup, drop level-0-false literals, detect tautologies and
+       level-0-true literals. *)
+    let lits = List.sort_uniq compare lits in
+    let tautology =
+      List.exists (fun l -> List.mem (Lit.negate l) lits) lits
+      || List.exists (fun l -> lit_value t l = 1 && t.levels.(Lit.var l) = 0) lits
+    in
+    if not tautology then begin
+      let lits =
+        List.filter
+          (fun l -> not (lit_value t l = 0 && t.levels.(Lit.var l) = 0))
+          lits
+      in
+      match lits with
+      | [] ->
+        t.ok <- false;
+        log_empty t
+      | [ l ] ->
+        enqueue t l None;
+        log_add t [| l |];
+        if propagate t <> None then begin
+          t.ok <- false;
+          log_empty t
+        end
+      | _ ->
+        let c =
+          { lits = Array.of_list lits; learnt = false; act = 0.0; lbd = 0;
+            deleted = false }
+        in
+        Vec.push t.clauses c;
+        attach t c
+    end
+  end
+
+let okay t = t.ok
+
+(* Level-0 simplification: remove satisfied clauses and false literals,
+   then rebuild every watch list. Called between restarts only. *)
+let simplify t =
+  assert (decision_level t = 0);
+  let simplify_vec vec =
+    Vec.filter_in_place
+      (fun c ->
+        if c.deleted then false
+        else if Array.exists (fun l -> lit_value t l = 1) c.lits then begin
+          c.deleted <- true;
+          log_delete t c.lits;
+          false
+        end
+        else begin
+          let keep = Array.to_list c.lits |> List.filter (fun l -> lit_value t l <> 0) in
+          (match keep with
+          | [] ->
+            t.ok <- false;
+            log_empty t
+          | [ l ] ->
+            log_add t [| l |];
+            enqueue t l None;
+            log_delete t c.lits;
+            c.deleted <- true
+          | _ ->
+            if List.length keep < Array.length c.lits then begin
+              let old = c.lits in
+              c.lits <- Array.of_list keep;
+              log_add t c.lits;
+              log_delete t old
+            end);
+          not c.deleted
+        end)
+      vec
+  in
+  simplify_vec t.clauses;
+  simplify_vec t.learnts;
+  (* Rebuild watches from scratch. *)
+  Array.iter Vec.clear t.watches;
+  Vec.iter (fun c -> attach t c) t.clauses;
+  Vec.iter (fun c -> attach t c) t.learnts;
+  if t.ok && propagate t <> None then begin
+    t.ok <- false;
+    log_empty t
+  end
+
+let reduce_db t =
+  (* Keep glue clauses (lbd <= 2); delete the worse half of the rest,
+     ordered by LBD then activity. *)
+  let arr = Vec.to_array t.learnts in
+  let removable =
+    Array.to_list arr |> List.filter (fun c -> c.lbd > 2 && not c.deleted)
+  in
+  let sorted =
+    List.sort
+      (fun c1 c2 ->
+        let c = Int.compare c2.lbd c1.lbd in
+        if c <> 0 then c else Float.compare c1.act c2.act)
+      removable
+  in
+  let to_delete = List.length sorted / 2 in
+  List.iteri
+    (fun i c ->
+      if i < to_delete then begin
+        c.deleted <- true;
+        log_delete t c.lits;
+        t.n_deleted <- t.n_deleted + 1
+      end)
+    sorted;
+  Vec.filter_in_place (fun c -> not c.deleted) t.learnts
+
+(* --- Search ----------------------------------------------------------- *)
+
+let luby y x =
+  (* Luby sequence value for index x (1-based internally). *)
+  let rec find_size size seq =
+    if size >= x + 1 then (size, seq) else find_size ((2 * size) + 1) (seq + 1)
+  in
+  let rec loop size seq x =
+    if size - 1 = x then (seq, x)
+    else
+      let size' = (size - 1) / 2 in
+      let x' = x mod size' in
+      loop size' (seq - 1) x'
+  in
+  let size, seq = find_size 1 0 in
+  let seq, _ = loop size seq x in
+  y ** float_of_int seq
+
+exception Unsat_exn
+exception Sat_exn
+
+let pick_branch_var t =
+  let rec loop () =
+    match Heap.remove_max t.order with
+    | None -> None
+    | Some v -> if t.assigns.(v) = v_undef then Some v else loop ()
+  in
+  loop ()
+
+let search t assumptions budget =
+  (* Returns Some result if decided within [budget] conflicts, None if the
+     budget was exhausted (caller restarts). *)
+  let conflicts_here = ref 0 in
+  try
+    while true do
+      match propagate t with
+      | Some confl ->
+        t.n_conflicts <- t.n_conflicts + 1;
+        incr conflicts_here;
+        if decision_level t = 0 then begin
+          t.ok <- false;
+          log_empty t;
+          raise Unsat_exn
+        end;
+        let learnt, btlevel = analyze t confl in
+        log_add t learnt.lits;
+        backtrack t btlevel;
+        t.n_learnt_lits <- t.n_learnt_lits + Array.length learnt.lits;
+        (match learnt.lits with
+        | [| l |] ->
+          (* Unit learnt clause: assert at level 0. *)
+          enqueue t l None
+        | lits ->
+          Vec.push t.learnts learnt;
+          attach t learnt;
+          enqueue t lits.(0) (Some learnt));
+        decay_activities t;
+        if !conflicts_here >= budget then begin
+          backtrack t 0;
+          raise Exit
+        end
+      | None ->
+        if decision_level t < Array.length assumptions then begin
+          (* Assert the next assumption. *)
+          let p = assumptions.(decision_level t) in
+          match lit_value t p with
+          | 1 ->
+            (* Already true: open a dummy level to keep indexing aligned. *)
+            Vec.push t.trail_lim (Vec.length t.trail)
+          | 0 -> raise Unsat_exn
+          | _ ->
+            Vec.push t.trail_lim (Vec.length t.trail);
+            enqueue t p None
+        end
+        else begin
+          match pick_branch_var t with
+          | None -> raise Sat_exn
+          | Some v ->
+            t.n_decisions <- t.n_decisions + 1;
+            Vec.push t.trail_lim (Vec.length t.trail);
+            enqueue t (Lit.make v t.polarity.(v)) None
+        end
+    done;
+    None
+  with
+  | Exit -> None
+  | Sat_exn -> Some Sat
+  | Unsat_exn -> Some Unsat
+
+exception Out_of_budget
+
+let solve_aux ?(assumptions = []) ?conflict_budget t =
+  t.model_ <- None;
+  if not t.ok then Some Unsat
+  else begin
+    let deadline =
+      match conflict_budget with
+      | Some b -> t.n_conflicts + b
+      | None -> max_int
+    in
+    let assumptions = Array.of_list assumptions in
+    Array.iter (fun l -> ensure_vars t (Lit.var l + 1)) assumptions;
+    let result = ref None in
+    (try
+       let restart = ref 0 in
+       while !result = None do
+         if !restart > 0 then t.n_restarts <- t.n_restarts + 1;
+         backtrack t 0;
+         if decision_level t = 0 then begin
+           if Vec.length t.learnts > t.max_learnts then begin
+             reduce_db t;
+             t.max_learnts <- t.max_learnts + (t.max_learnts / 10)
+           end;
+           (* Simplifying rebuilds every watch list, so only do it when
+              new top-level facts appeared — crucial for incremental use
+              where thousands of blocking clauses accumulate. *)
+           if Vec.length t.trail > t.simp_trail_size then begin
+             simplify t;
+             t.simp_trail_size <- Vec.length t.trail
+           end;
+           if not t.ok then result := Some Unsat
+         end;
+         if !result = None then begin
+           if t.n_conflicts >= deadline then raise Out_of_budget;
+           let budget =
+             min
+               (int_of_float (100.0 *. luby 2.0 !restart))
+               (max 1 (deadline - t.n_conflicts))
+           in
+           incr restart;
+           result := search t assumptions budget
+         end
+       done
+     with Out_of_budget -> ());
+    (match !result with
+    | Some Sat ->
+      let m = Array.init t.nvars (fun v -> t.assigns.(v) = 0) in
+      t.model_ <- Some m
+    | _ -> ());
+    backtrack t 0;
+    !result
+  end
+
+let solve ?assumptions t =
+  match solve_aux ?assumptions t with
+  | Some r -> r
+  | None -> assert false
+
+let solve_limited ?assumptions ~conflict_budget t =
+  solve_aux ?assumptions ~conflict_budget t
+
+let value t v =
+  match t.model_ with
+  | Some m when v < Array.length m -> m.(v)
+  | Some _ -> invalid_arg "Solver.value: variable out of range"
+  | None -> invalid_arg "Solver.value: no model available"
+
+let model t =
+  match t.model_ with
+  | Some m -> Array.copy m
+  | None -> invalid_arg "Solver.model: no model available"
+
+let stats t =
+  {
+    conflicts = t.n_conflicts;
+    decisions = t.n_decisions;
+    propagations = t.n_propagations;
+    restarts = t.n_restarts;
+    learnt_literals = t.n_learnt_lits;
+    deleted_clauses = t.n_deleted;
+  }

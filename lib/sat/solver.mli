@@ -1,0 +1,81 @@
+(** CDCL SAT solver.
+
+    A conflict-driven clause-learning solver in the MiniSat/Glucose
+    family: two-watched-literal propagation, first-UIP conflict analysis
+    with local clause minimization, VSIDS variable activities with phase
+    saving, Luby restarts, and LBD-aware learnt-clause database
+    reduction. Supports incremental clause addition between calls to
+    {!solve} and solving under assumptions — exactly the interface the
+    why-provenance enumerator needs (blocking clauses, membership checks
+    under fixed leaf assignments).
+
+    This module substitutes for the Glucose 4.2.1 solver used by the
+    paper's artifact. *)
+
+type t
+
+type result =
+  | Sat
+  | Unsat
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocates a fresh variable and returns its index. *)
+
+val ensure_vars : t -> int -> unit
+(** [ensure_vars s n] makes variables [0 .. n-1] exist. *)
+
+val num_vars : t -> int
+
+val add_clause : t -> Lit.t list -> unit
+(** Adds a clause. Must be called with the solver at decision level 0
+    (i.e. outside {!solve}); duplicates and level-0-false literals are
+    removed, tautologies dropped. May make the solver permanently
+    unsatisfiable (see {!okay}). *)
+
+val okay : t -> bool
+(** [false] once the clause set has been proven unsatisfiable at level 0;
+    further [solve] calls return [Unsat] immediately. *)
+
+val solve : ?assumptions:Lit.t list -> t -> result
+(** Solves the current clause set under the given assumptions. On [Sat]
+    the model is available through {!value} / {!model} until the next
+    call that modifies the solver. *)
+
+val solve_limited : ?assumptions:Lit.t list -> conflict_budget:int -> t -> result option
+(** Like {!solve} but gives up after the given number of conflicts,
+    returning [None]. Learnt clauses are kept, so the work is not
+    wasted if the caller retries. Used for timeout-style budgets in the
+    enumeration harness. *)
+
+val value : t -> int -> bool
+(** Model value of a variable after a [Sat] answer.
+    @raise Invalid_argument if the last call did not return [Sat]. *)
+
+val model : t -> bool array
+(** Copy of the full model after a [Sat] answer. *)
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learnt_literals : int;
+  deleted_clauses : int;
+}
+
+val stats : t -> stats
+
+val enable_proof_logging : t -> unit
+(** Start recording a DRAT trace (additions of learnt clauses and
+    top-level units, strengthenings and deletions). Call before adding
+    clauses. An UNSAT answer obtained without assumptions ends the
+    trace with the empty clause; verify with {!Drat.check}. *)
+
+val proof : t -> string
+(** The DRAT trace recorded so far (empty if logging is off). *)
+
+val set_default_polarity : t -> bool -> unit
+(** Initial phase for unassigned variables (default [false], which makes
+    the enumerator prefer small supports first). *)

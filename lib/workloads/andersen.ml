@@ -1,0 +1,77 @@
+open Datalog
+
+(* Andersen's points-to analysis as Datalog (4 rules, non-linear):
+     y = &x   addr(Y,X)
+     y = x    assign(Y,X)
+     y = *x   load(Y,X)
+     *y = x   store(Y,X)  *)
+let program_src = {|
+  pt(Y,X) :- addr(Y,X).
+  pt(Y,X) :- assign(Y,Z), pt(Z,X).
+  pt(Y,W) :- load(Y,X), pt(X,Z), pt(Z,W).
+  pt(W,Z) :- store(Y,X), pt(Y,W), pt(X,Z).
+|}
+
+let statements ?(seed = 401) ~vars () =
+  let rng = Util.Rng.create seed in
+  (* Program shaped like a call tree: each "function" (cluster) is a
+     short chain of copies with occasional skip edges (series-parallel
+     diamonds), its entry copying from a random variable of its parent
+     function. Addresses are taken at the root and sporadically inside
+     functions. Skip edges multiply the number of distinct derivations
+     (rich why-provenance families) while the rule-instance graph stays
+     narrow, as in real points-to analyses. *)
+  let chain = 10 in
+  let n_clusters = max 2 (vars / chain) in
+  let var c i = Printf.sprintf "x%d_%d" c i
+  and obj i = Printf.sprintf "o%d" i in
+  let n_objects = max 2 (n_clusters / 2) in
+  let facts = ref [] in
+  let add f = facts := f :: !facts in
+  add (Fact.of_strings "addr" [ var 0 0; obj 0 ]);
+  add (Fact.of_strings "addr" [ var 0 0; obj (1 mod n_objects) ]);
+  for c = 1 to n_clusters - 1 do
+    (* Either receive a pointer from the parent function or start a
+       fresh one locally; keeping many independent pointer roots stops
+       the few root objects from flowing through the whole program. *)
+    if Util.Rng.float rng 1.0 < 0.6 then begin
+      let parent = Util.Rng.int rng c in
+      add (Fact.of_strings "assign" [ var c 0; var parent (Util.Rng.int rng chain) ]);
+      if Util.Rng.float rng 1.0 < 0.3 then
+        add (Fact.of_strings "assign" [ var c 0; var parent (Util.Rng.int rng chain) ])
+    end
+    else add (Fact.of_strings "addr" [ var c 0; obj (c mod n_objects) ]);
+    if Util.Rng.float rng 1.0 < 0.2 then
+      add (Fact.of_strings "addr" [ var c 0; obj (Util.Rng.int rng n_objects) ])
+  done;
+  for c = 0 to n_clusters - 1 do
+    for i = 1 to chain - 1 do
+      add (Fact.of_strings "assign" [ var c i; var c (i - 1) ]);
+      if i >= 2 && Util.Rng.float rng 1.0 < 0.35 then
+        add (Fact.of_strings "assign" [ var c i; var c (i - 2) ])
+    done;
+    if Util.Rng.float rng 1.0 < 0.12 then begin
+      let i = 1 + Util.Rng.int rng (chain - 1) in
+      add (Fact.of_strings "load" [ var c i; var c (i - 1) ])
+    end;
+    if Util.Rng.float rng 1.0 < 0.08 then begin
+      let i = 1 + Util.Rng.int rng (chain - 1) in
+      add (Fact.of_strings "store" [ var c i; var c (i - 1) ])
+    end
+  done;
+  Database.of_list !facts
+
+let scenario ?(scale = 1.0) ?(seed = 400) () =
+  let program = fst (Parser.program_of_string program_src) in
+  let db i vars =
+    let vars = max 8 (int_of_float (float_of_int vars *. scale)) in
+    (Printf.sprintf "D%d" i, lazy (statements ~seed:(seed + i) ~vars ()))
+  in
+  {
+    Scenario.name = "Andersen";
+    program;
+    answer_pred = Symbol.intern "pt";
+    (* Five sizes growing by the same 1 : 5 : 10 : 50 : 100 progression
+       as the paper's 68K … 6.8M databases. *)
+    databases = [ db 1 300; db 2 1500; db 3 3000; db 4 15000; db 5 30000 ];
+  }

@@ -1,0 +1,11 @@
+(** Andersen scenario (Table 1): the classical inclusion-based points-to
+    analysis, non-linear recursive, 4 rules; the query asks for [pt(P,V)]
+    pairs. The paper uses encodings of program statements of five sizes
+    (68K–6.8M facts); we generate synthetic statement mixes
+    (address-of / copy / load / store) in five growing sizes. *)
+
+val scenario : ?scale:float -> ?seed:int -> unit -> Scenario.t
+
+val statements : ?seed:int -> vars:int -> unit -> Datalog.Database.t
+(** Random program with [vars] pointer variables and a proportional mix
+    of the four statement kinds. *)

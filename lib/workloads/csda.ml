@@ -1,0 +1,50 @@
+open Datalog
+
+(* Null-flow dataflow analysis (2 rules, linear recursive): a value is
+   possibly null at V if V is a null source or null flows along a
+   dataflow edge into V. *)
+let program_src = {|
+  null(V) :- nullsrc(V).
+  null(V) :- null(U), flow(U,V).
+|}
+
+let dataflow_graph ?(seed = 501) ~points () =
+  let rng = Util.Rng.create seed in
+  let n = max 16 points in
+  let point i = Printf.sprintf "pp%d" i in
+  let facts = ref [] in
+  let add f = facts := f :: !facts in
+  (* Program-like structure: mostly straight-line flow with forward
+     branches, some joins, and rare loop back edges. *)
+  for i = 0 to n - 2 do
+    add (Fact.of_strings "flow" [ point i; point (i + 1) ]);
+    if Util.Rng.float rng 1.0 < 0.15 then begin
+      (* forward branch *)
+      let target = min (n - 1) (i + 2 + Util.Rng.int rng 8) in
+      add (Fact.of_strings "flow" [ point i; point target ])
+    end;
+    if Util.Rng.float rng 1.0 < 0.03 && i > 4 then begin
+      (* loop back edge *)
+      let target = max 0 (i - 1 - Util.Rng.int rng 5) in
+      add (Fact.of_strings "flow" [ point i; point target ])
+    end
+  done;
+  let n_sources = max 1 (n / 200) in
+  for _ = 1 to n_sources do
+    add (Fact.of_strings "nullsrc" [ point (Util.Rng.int rng (n / 2)) ])
+  done;
+  Database.of_list !facts
+
+let scenario ?(scale = 1.0) ?(seed = 500) () =
+  let program = fst (Parser.program_of_string program_src) in
+  let db name points =
+    let points = max 16 (int_of_float (float_of_int points *. scale)) in
+    (name, lazy (dataflow_graph ~seed:(seed + points) ~points ()))
+  in
+  {
+    Scenario.name = "CSDA";
+    program;
+    answer_pred = Symbol.intern "null";
+    databases =
+      [ db "httpd" 6000; db "postgresql" 15000; db "linux" 25000 ];
+  }

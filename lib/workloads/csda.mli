@@ -1,0 +1,12 @@
+(** CSDA scenario (Table 1): context-sensitive dataflow analysis for
+    null-pointer flow, linear recursive, 2 rules; the query asks which
+    program points may observe a null value. The paper runs it over the
+    dataflow graphs of httpd, postgresql and the linux kernel (10M–44M
+    facts); we generate layered control-flow-like graphs in three
+    growing sizes named after those systems. *)
+
+val scenario : ?scale:float -> ?seed:int -> unit -> Scenario.t
+
+val dataflow_graph : ?seed:int -> points:int -> unit -> Datalog.Database.t
+(** A mostly-layered sparse dataflow graph with [points] program points,
+    a few null sources, and occasional back edges (loops). *)

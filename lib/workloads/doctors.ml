@@ -1,0 +1,143 @@
+open Datalog
+
+(* Seven linear non-recursive queries, six rules each, over a shared
+   medical-records database. Queries 1, 5 and 7 are "demanding": unions
+   at several strata multiply the number of induced CQs and hence the
+   size of the why-provenance families. *)
+
+let query_sources =
+  [
+    ( "Doctors-1",
+      "ans1",
+      {|
+        t1(D,P) :- treats(D,P).
+        t1(D,P) :- prescribes(D,P,M).
+        t2(D,P,I) :- t1(D,P), insured(P,I).
+        t3(D,I) :- t2(D,P,I), patient(P,C).
+        ans1(D) :- t3(D,I), doctor(D,S,H).
+        ans1(D) :- t3(D,I), treats(D,P).
+      |} );
+    ( "Doctors-2",
+      "ans2",
+      {|
+        s1(D,H) :- doctor(D,S,H).
+        s2(D,C) :- s1(D,H), hospital(H,C).
+        s3(D,P) :- s2(D,C), patient(P,C).
+        s4(D,P) :- s3(D,P), treats(D,P).
+        ans2(D,P) :- s4(D,P), insured(P,I).
+        ans2(D,P) :- s4(D,P), prescribes(D,P,M).
+      |} );
+    ( "Doctors-3",
+      "ans3",
+      {|
+        d1(D,P) :- treats(D,P).
+        d1(D,P) :- prescribes(D,P,M).
+        d2(D,P) :- d1(D,P), insured(P,I).
+        d3(D) :- d2(D,P), prescribes(D,P,M).
+        ans3(D,H) :- d3(D), doctor(D,S,H).
+        ans3(D,H) :- d2(D,P), doctor(D,S,H).
+      |} );
+    ( "Doctors-4",
+      "ans4",
+      {|
+        u1(P,M) :- prescribes(D,P,M).
+        u2(P,T) :- u1(P,M), medication(M,T).
+        u3(P,T,I) :- u2(P,T), insured(P,I).
+        ans4(P,T) :- u3(P,T,I), patient(P,C).
+        ans4(P,T) :- u3(P,T,I), treats(D,P).
+        ans4(P,T) :- u2(P,T), patient(P,C).
+      |} );
+    ( "Doctors-5",
+      "ans5",
+      {|
+        i1(P,I) :- insured(P,I).
+        i2(P,I,D) :- i1(P,I), treats(D,P).
+        i3(I,D,H) :- i2(P,I,D), doctor(D,S,H).
+        i4(I,H) :- i3(I,D,H), hospital(H,C).
+        ans5(I,H) :- i4(I,H), hospital(H,C).
+        ans5(I,H) :- i4(I,H), doctor(D,S,H).
+      |} );
+    ( "Doctors-6",
+      "ans6",
+      {|
+        c1(H,C) :- hospital(H,C).
+        c2(H,P) :- c1(H,C), patient(P,C).
+        c3(H,P,D) :- c2(H,P), treats(D,P).
+        c4(H,D) :- c3(H,P,D), doctor(D,S,H2).
+        ans6(H,D) :- c4(H,D), doctor(D,S,H).
+        ans6(H,D) :- c4(H,D), hospital(H,C).
+      |} );
+    ( "Doctors-7",
+      "ans7",
+      {|
+        m1(D,M) :- prescribes(D,P,M).
+        m2(D,T) :- m1(D,M), medication(M,T).
+        m3(D,T,H) :- m2(D,T), doctor(D,S,H).
+        m4(T,C) :- m3(D,T,H), hospital(H,C).
+        ans7(T,C) :- m4(T,C), patient(P,C).
+        ans7(T,C) :- m4(T,C), hospital(H,C).
+      |} );
+  ]
+
+let database ?(scale = 1.0) ?(seed = 201) () =
+  let rng = Util.Rng.create seed in
+  let scaled base = max 1 (int_of_float (float_of_int base *. scale)) in
+  let n_doctors = scaled 800
+  and n_hospitals = scaled 40
+  and n_cities = scaled 16
+  and n_patients = scaled 3000
+  and n_treats = scaled 5000
+  and n_prescribes = scaled 5000
+  and n_medications = scaled 150 in
+  let doctor i = Printf.sprintf "d%d" i
+  and hospital i = Printf.sprintf "h%d" i
+  and city i = Printf.sprintf "city%d" i
+  and patient i = Printf.sprintf "p%d" i
+  and medication i = Printf.sprintf "m%d" i in
+  let specialties = [| "cardio"; "neuro"; "ortho"; "onco"; "gp"; "derm" |] in
+  let med_types = [| "antibiotic"; "analgesic"; "antiviral"; "statin"; "betablocker" |] in
+  let insurers = [| "acme"; "medicare"; "globex"; "initech" |] in
+  let facts = ref [] in
+  let add f = facts := f :: !facts in
+  for i = 0 to n_doctors - 1 do
+    add
+      (Fact.of_strings "doctor"
+         [ doctor i; Util.Rng.choose rng specialties;
+           hospital (Util.Rng.int rng n_hospitals) ])
+  done;
+  for i = 0 to n_hospitals - 1 do
+    add (Fact.of_strings "hospital" [ hospital i; city (Util.Rng.int rng n_cities) ])
+  done;
+  for i = 0 to n_patients - 1 do
+    add (Fact.of_strings "patient" [ patient i; city (Util.Rng.int rng n_cities) ]);
+    add (Fact.of_strings "insured" [ patient i; Util.Rng.choose rng insurers ])
+  done;
+  for i = 0 to n_medications - 1 do
+    add (Fact.of_strings "medication" [ medication i; Util.Rng.choose rng med_types ])
+  done;
+  for _ = 1 to n_treats do
+    add
+      (Fact.of_strings "treats"
+         [ doctor (Util.Rng.int rng n_doctors); patient (Util.Rng.int rng n_patients) ])
+  done;
+  for _ = 1 to n_prescribes do
+    add
+      (Fact.of_strings "prescribes"
+         [ doctor (Util.Rng.int rng n_doctors);
+           patient (Util.Rng.int rng n_patients);
+           medication (Util.Rng.int rng n_medications) ])
+  done;
+  Database.of_list !facts
+
+let scenarios ?(scale = 1.0) ?(seed = 200) () =
+  let shared = lazy (database ~scale ~seed:(seed + 1) ()) in
+  List.map
+    (fun (name, answer, src) ->
+      let program = fst (Parser.program_of_string src) in
+      {
+        Scenario.name;
+        program;
+        answer_pred = Symbol.intern answer;
+        databases = [ ("D1", shared) ];
+      })
+    query_sources

@@ -1,0 +1,15 @@
+(** Doctors scenarios (Table 1): seven linear non-recursive queries of
+    six rules each over one shared synthetic medical database, standing
+    in for the data-exchange benchmark used by the paper (and by
+    Elhalawati et al. 2022). Since the queries are linear and
+    non-recursive, [why = why_UN], which is what makes the Figure 5
+    comparison between the SAT pipeline and all-at-once materialization
+    meaningful. *)
+
+val scenarios : ?scale:float -> ?seed:int -> unit -> Scenario.t list
+(** [Doctors-1] … [Doctors-7], sharing a single database. Queries 1, 5
+    and 7 are the demanding ones (wider joins, more rule alternatives,
+    hence larger why-provenance families). *)
+
+val database : ?scale:float -> ?seed:int -> unit -> Datalog.Database.t
+(** The shared database (≈ 20K facts at scale 1). *)

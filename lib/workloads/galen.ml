@@ -1,0 +1,91 @@
+open Datalog
+
+(* EL completion rules in the style of the ELK calculus (Kazakov,
+   Krötzsch & Simančík 2014). Extensional vocabulary:
+     class(C)           C is a class name
+     isa(C,D)           asserted C ⊑ D
+     conj(C,D,E)        C ≡ D ⊓ E
+     exists(E,R,C)      E ≡ ∃R.C
+     subrole(R,S)       asserted R ⊑ S
+     rolecomp(R,S,T)    R ∘ S ⊑ T
+   Intensional: sco(C,D) (derived C ⊑ D), sr(C,R,D) (derived C ⊑ ∃R.D).
+   14 rules; non-linear (rules with two intensional body atoms) and
+   recursive. *)
+let program_src = {|
+  sco(X,X) :- class(X).
+  sco(X,Y) :- isa(X,Y).
+  sco(X,Z) :- sco(X,Y), isa(Y,Z).
+  sco(X,Y) :- sco(X,C), conj(C,Y,Z).
+  sco(X,Z) :- sco(X,C), conj(C,Y,Z).
+  sco(X,C) :- sco(X,Y), sco(X,Z), conj(C,Y,Z).
+  sr(X,R,Y) :- sco(X,E), exists(E,R,Y).
+  sr(X,R,Y) :- isa(X,E), exists(E,R,Y).
+  sco(X,E) :- sr(X,R,Y), sco(Y,Z), exists(E,R,Z).
+  sco(X,E) :- sr(X,R,Y), exists(E,R,Y).
+  sr(X,S,Y) :- sr(X,R,Y), subrole(R,S).
+  sr(X,T,Z) :- sr(X,R,Y), sr(Y,S,Z), rolecomp(R,S,T).
+  sco(X,Z) :- sco(X,Y), isa(Y,C), conj(C,Z,W).
+  sco(X,W) :- sco(X,Y), isa(Y,C), conj(C,W,Z).
+|}
+
+let ontology ?(scale = 1.0) ?(seed = 301) ~classes () =
+  let rng = Util.Rng.create seed in
+  let n_classes = max 8 (int_of_float (float_of_int classes *. scale)) in
+  let n_roles = max 3 (n_classes / 20) in
+  let cls i = Printf.sprintf "c%d" i
+  and role i = Printf.sprintf "r%d" i in
+  let facts = ref [] in
+  let add f = facts := f :: !facts in
+  for i = 0 to n_classes - 1 do
+    add (Fact.of_strings "class" [ cls i ])
+  done;
+  (* A forest-like asserted hierarchy with local parents: real
+     ontologies are broad and shallow, and a concept's parents sit in
+     the same neighbourhood of the taxonomy. Global random parents make
+     the first few classes universal ancestors and saturate sco. *)
+  let local_below i =
+    let lo = max 0 (i - 8) in
+    lo + Util.Rng.int rng (i - lo)
+  in
+  for i = 1 to n_classes - 1 do
+    let n_parents = 1 + (if Util.Rng.float rng 1.0 < 0.2 then 1 else 0) in
+    for _ = 1 to n_parents do
+      add (Fact.of_strings "isa" [ cls i; cls (local_below i) ])
+    done
+  done;
+  (* Conjunction and existential definitions, layered so that defined
+     concepts only refer to lower-numbered ones (real ontologies are
+     essentially stratified; fully random definitions create giant
+     strongly-connected sco components that no reasoner faces). *)
+  let n_conj = n_classes / 6 and n_exists = n_classes / 5 in
+  for _ = 1 to n_conj do
+    let c = 2 + Util.Rng.int rng (n_classes - 2) in
+    let d = local_below c and e = local_below c in
+    add (Fact.of_strings "conj" [ cls c; cls d; cls e ])
+  done;
+  for _ = 1 to n_exists do
+    let e = 1 + Util.Rng.int rng (n_classes - 1) in
+    let r = Util.Rng.int rng n_roles and c = local_below e in
+    add (Fact.of_strings "exists" [ cls e; role r; cls c ])
+  done;
+  for i = 1 to n_roles - 1 do
+    if Util.Rng.bool rng then
+      add (Fact.of_strings "subrole" [ role i; role (Util.Rng.int rng i) ])
+  done;
+  for _ = 1 to n_roles / 2 do
+    let r = Util.Rng.int rng n_roles
+    and s = Util.Rng.int rng n_roles
+    and t = Util.Rng.int rng n_roles in
+    add (Fact.of_strings "rolecomp" [ role r; role s; role t ])
+  done;
+  Database.of_list !facts
+
+let scenario ?(scale = 1.0) ?(seed = 300) () =
+  let program = fst (Parser.program_of_string program_src) in
+  let db i classes = (Printf.sprintf "D%d" i, lazy (ontology ~scale ~seed:(seed + i) ~classes ())) in
+  {
+    Scenario.name = "Galen";
+    program;
+    answer_pred = Symbol.intern "sco";
+    databases = [ db 1 200; db 2 300; db 3 450; db 4 600 ];
+  }

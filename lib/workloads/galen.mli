@@ -1,0 +1,11 @@
+(** Galen scenario (Table 1): the EL completion calculus (after the ELK
+    reasoner), non-linear recursive, 14 rules; the query asks for derived
+    [sco] (subClassOf) pairs. The paper runs it over slices of the Galen
+    medical ontology; we generate synthetic EL ontologies with the same
+    constructs (class hierarchy, conjunctions, existential restrictions,
+    role hierarchy and composition), in four growing sizes. *)
+
+val scenario : ?scale:float -> ?seed:int -> unit -> Scenario.t
+
+val ontology : ?scale:float -> ?seed:int -> classes:int -> unit -> Datalog.Database.t
+(** A random EL ontology with roughly [classes] class names. *)

@@ -1,0 +1,46 @@
+open Datalog
+
+type t = {
+  name : string;
+  program : Program.t;
+  answer_pred : Symbol.t;
+  databases : (string * Database.t Lazy.t) list;
+}
+
+let database t name = Lazy.force (List.assoc name t.databases)
+
+let pick_answers ?(seed = 20240614) t db k =
+  let rng = Util.Rng.create seed in
+  let answers = Eval.answers t.program t.answer_pred db in
+  let arr = Array.of_list answers in
+  Array.to_list (Util.Rng.sample rng k arr)
+
+let table1_row t =
+  let sizes =
+    List.map
+      (fun (name, db) ->
+        let db = Lazy.force db in
+        Printf.sprintf "%s (%d)" name (Database.size db))
+      t.databases
+  in
+  Printf.sprintf "%-14s | %-40s | %-25s | %d" t.name
+    (String.concat ", " sizes)
+    (Program.query_class t.program)
+    (List.length (Program.rules t.program))
+
+let to_dl_string t db =
+  let buf = Buffer.create (64 * Database.size db) in
+  Buffer.add_string buf (Printf.sprintf "%% scenario: %s\n" t.name);
+  Buffer.add_string buf (Format.asprintf "%a\n" Program.pp t.program);
+  let facts = List.sort Fact.compare (Database.to_list db) in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf (Fact.to_string f);
+      Buffer.add_string buf ".\n")
+    facts;
+  Buffer.contents buf
+
+let save t db path =
+  let oc = open_out path in
+  output_string oc (to_dl_string t db);
+  close_out oc

@@ -1,0 +1,31 @@
+(** Common shape of the experimental scenarios of Table 1. *)
+
+open Datalog
+
+type t = {
+  name : string;
+  program : Program.t;
+  answer_pred : Symbol.t;
+  databases : (string * Database.t Lazy.t) list;
+      (** Named databases, lazily generated (generation is deterministic
+          given the scenario's seed). *)
+}
+
+val database : t -> string -> Database.t
+(** Forces the named database. @raise Not_found if absent. *)
+
+val pick_answers : ?seed:int -> t -> Database.t -> int -> Fact.t list
+(** [pick_answers scenario db k] materializes the model and picks [k]
+    answer tuples uniformly at random (fewer if the answer relation is
+    smaller), as in the paper's experimental setup. *)
+
+val table1_row : t -> string
+(** One row of Table 1: name, database sizes, query type, rule count. *)
+
+val to_dl_string : t -> Datalog.Database.t -> string
+(** The scenario's program and the given database in the textual [.dl]
+    syntax — reparsable by {!Datalog.Parser}, replayable with the
+    [whyprov] CLI. *)
+
+val save : t -> Datalog.Database.t -> string -> unit
+(** Writes {!to_dl_string} to a file. *)

@@ -1,0 +1,89 @@
+open Datalog
+
+let program_src = {|
+  tc(X,Y) :- edge(X,Y).
+  tc(X,Z) :- tc(X,Y), edge(Y,Z).
+|}
+
+let node i = Printf.sprintf "v%d" i
+
+let edge_fact u v = Fact.of_strings "edge" [ node u; node v ]
+
+let bitcoin_like ?(scale = 1.0) ?(seed = 101) () =
+  (* Transaction-graph-like: many independent wallet clusters, each a
+     small DAG (coins flow forward in time, so the real graph is
+     acyclic), with heavy-tailed cluster sizes. Keeps the transitive
+     closure linear in the database and the downward closures narrow. *)
+  let rng = Util.Rng.create seed in
+  let budget = int_of_float (8000.0 *. scale) in
+  let facts = ref [] in
+  let emitted = ref 0 in
+  let next_node = ref 0 in
+  while !emitted < budget do
+    let size = 8 + Util.Rng.int rng 40 in
+    let base = !next_node in
+    next_node := base + size;
+    for i = 1 to size - 1 do
+      let n_preds = 1 + (if Util.Rng.float rng 1.0 < 0.4 then 1 else 0) in
+      for _ = 1 to n_preds do
+        let j = Util.Rng.int rng i in
+        facts := edge_fact (base + j) (base + i) :: !facts;
+        incr emitted
+      done
+    done
+  done;
+  Database.of_list !facts
+
+let facebook_like ?(scale = 1.0) ?(seed = 102) () =
+  (* Social circles: communities of 8–16 members with dense directed
+     intra-community edges (cyclic!), plus a few one-way bridges to
+     earlier communities. Cross-community closures are dense and cyclic,
+     which is exactly the regime where the paper saw the acyclicity
+     encoding blow up. *)
+  let rng = Util.Rng.create seed in
+  let budget = int_of_float (4000.0 *. scale) in
+  let facts = ref [] in
+  let emitted = ref 0 in
+  let next_node = ref 0 in
+  let communities = Util.Vec.create () in
+  while !emitted < budget do
+    let size = 8 + Util.Rng.int rng 9 in
+    let members = Array.init size (fun i -> !next_node + i) in
+    next_node := !next_node + size;
+    Util.Vec.push communities members;
+    Array.iter
+      (fun u ->
+        Array.iter
+          (fun v ->
+            if u <> v && Util.Rng.float rng 1.0 < 0.5 then begin
+              facts := edge_fact u v :: !facts;
+              incr emitted
+            end)
+          members)
+      members;
+    if Util.Vec.length communities > 1 then begin
+      let other =
+        Util.Vec.get communities
+          (Util.Rng.int rng (Util.Vec.length communities - 1))
+      in
+      for _ = 1 to 2 do
+        let u = Util.Rng.choose rng other and v = Util.Rng.choose rng members in
+        facts := edge_fact u v :: !facts;
+        incr emitted
+      done
+    end
+  done;
+  Database.of_list !facts
+
+let scenario ?(scale = 1.0) ?(seed = 100) () =
+  let program = fst (Parser.program_of_string program_src) in
+  {
+    Scenario.name = "TransClosure";
+    program;
+    answer_pred = Symbol.intern "tc";
+    databases =
+      [
+        ("bitcoin", lazy (bitcoin_like ~scale ~seed:(seed + 1) ()));
+        ("facebook", lazy (facebook_like ~scale ~seed:(seed + 2) ()));
+      ];
+  }

@@ -1,0 +1,17 @@
+(** TransClosure scenario (Table 1): transitive closure of a graph,
+    linear recursive, 2 rules.
+
+    The paper uses a slice of the Bitcoin transaction graph (235K facts)
+    and Facebook social circles (88.2K facts). We generate synthetic
+    stand-ins with the same character: a sparse scale-free digraph
+    ("bitcoin"-like) and a dense clustered community graph
+    ("facebook"-like, which stresses the acyclicity encoding exactly as
+    the paper reports). *)
+
+val scenario : ?scale:float -> ?seed:int -> unit -> Scenario.t
+
+val bitcoin_like : ?scale:float -> ?seed:int -> unit -> Datalog.Database.t
+(** Sparse heavy-tailed digraph over the [edge/2] predicate. *)
+
+val facebook_like : ?scale:float -> ?seed:int -> unit -> Datalog.Database.t
+(** Clustered communities with dense intra-cluster edges. *)

@@ -1,0 +1,3 @@
+(* Shared helpers for test suites. *)
+
+let satisfiable ~nvars clauses = Sat.Reference.brute_force ~nvars clauses <> None

@@ -1,0 +1,143 @@
+(* Tests for the totalizer cardinality encoding and smallest-first
+   enumeration of the why-provenance. *)
+
+module D = Datalog
+module P = Provenance
+
+let count_true model lits =
+  List.length
+    (List.filter
+       (fun l ->
+         if Sat.Lit.sign l then model.(Sat.Lit.var l)
+         else not model.(Sat.Lit.var l))
+       lits)
+
+let test_at_most_counts () =
+  (* For every n ≤ 5 and k < n: models of "at most k of n free vars"
+     number Σ_{i≤k} C(n,i). *)
+  let binomial n k =
+    let rec c n k = if k = 0 || k = n then 1 else c (n - 1) (k - 1) + c (n - 1) k in
+    if k > n then 0 else c n k
+  in
+  for n = 1 to 5 do
+    for k = 0 to n - 1 do
+      let s = Sat.Solver.create () in
+      Sat.Solver.ensure_vars s n;
+      let lits = List.init n Sat.Lit.pos in
+      Sat.Cardinality.at_most s lits k;
+      (* Enumerate models projected on the n original variables. *)
+      let count = ref 0 in
+      let rec loop () =
+        match Sat.Solver.solve s with
+        | Sat.Solver.Unsat -> ()
+        | Sat.Solver.Sat ->
+          incr count;
+          let m = Sat.Solver.model s in
+          Sat.Solver.add_clause s
+            (List.init n (fun v -> if m.(v) then Sat.Lit.neg v else Sat.Lit.pos v));
+          loop ()
+      in
+      loop ();
+      let expected = List.init (k + 1) (fun i -> binomial n i) |> List.fold_left ( + ) 0 in
+      Alcotest.(check int) (Printf.sprintf "n=%d k=%d" n k) expected !count
+    done
+  done
+
+let test_outputs_monotone () =
+  (* In any model, output i is true whenever at least i+1 inputs are. *)
+  let rng = Util.Rng.create 61 in
+  for _ = 1 to 30 do
+    let n = 2 + Util.Rng.int rng 6 in
+    let s = Sat.Solver.create () in
+    Sat.Solver.ensure_vars s n;
+    let lits = List.init n Sat.Lit.pos in
+    let out = Sat.Cardinality.outputs s lits in
+    (* Force a random subset of inputs. *)
+    let forced = List.filter (fun _ -> Util.Rng.bool rng) lits in
+    List.iter (fun l -> Sat.Solver.add_clause s [ l ]) forced;
+    (match Sat.Solver.solve s with
+    | Sat.Solver.Unsat -> Alcotest.fail "forcing inputs cannot be UNSAT"
+    | Sat.Solver.Sat ->
+      let m = Sat.Solver.model s in
+      let k = count_true m lits in
+      for i = 0 to k - 1 do
+        let o = out.(i) in
+        Alcotest.(check bool)
+          (Printf.sprintf "o_%d forced with %d inputs" i k)
+          true
+          (if Sat.Lit.sign o then m.(Sat.Lit.var o) else not m.(Sat.Lit.var o))
+      done)
+  done
+
+let acc_program = fst (D.Parser.program_of_string {|
+  a(X) :- s(X).
+  a(X) :- a(Y), a(Z), t(Y,Z,X).
+|})
+
+let test_smallest_first_order () =
+  let rng = Util.Rng.create 62 in
+  for _ = 1 to 15 do
+    let consts = [| "a"; "b"; "c"; "d" |] in
+    let facts =
+      D.Fact.of_strings "s" [ "a" ]
+      :: D.Fact.of_strings "s" [ "b" ]
+      :: List.init (2 + Util.Rng.int rng 4) (fun _ ->
+             D.Fact.of_strings "t"
+               [ Util.Rng.choose rng consts; Util.Rng.choose rng consts;
+                 Util.Rng.choose rng consts ])
+    in
+    let db = D.Database.of_list facts in
+    let model = D.Eval.seminaive acc_program db in
+    D.Database.iter_pred model (D.Symbol.intern "a") (fun goal ->
+        let ordered =
+          P.Enumerate.to_list (P.Enumerate.create ~smallest_first:true acc_program db goal)
+        in
+        (* Sizes are non-decreasing. *)
+        let sizes = List.map D.Fact.Set.cardinal ordered in
+        let rec sorted = function
+          | [] | [ _ ] -> true
+          | x :: (y :: _ as rest) -> x <= y && sorted rest
+        in
+        if not (sorted sizes) then
+          Alcotest.failf "sizes not sorted for %s: %s" (D.Fact.to_string goal)
+            (String.concat "," (List.map string_of_int sizes));
+        (* Same family as the plain enumeration. *)
+        let plain = P.Enumerate.to_list (P.Enumerate.create acc_program db goal) in
+        Alcotest.(check int)
+          (Printf.sprintf "family size of %s" (D.Fact.to_string goal))
+          (List.length plain) (List.length ordered);
+        List.iter
+          (fun member ->
+            Alcotest.(check bool) "member present" true
+              (List.exists (D.Fact.Set.equal member) ordered))
+          plain)
+  done
+
+let test_smallest_first_example1 () =
+  let db =
+    D.Database.of_list
+      (List.map
+         (fun (p, args) -> D.Fact.of_strings p args)
+         [ ("s", [ "a" ]); ("t", [ "a"; "a"; "b" ]); ("t", [ "a"; "a"; "c" ]);
+           ("t", [ "a"; "a"; "d" ]); ("t", [ "b"; "c"; "a" ]) ])
+  in
+  (* a(a) has the singleton explanation {s(a)} plus larger ones going
+     through t(b,c,a); smallest-first must yield {s(a)} first. *)
+  let goal = D.Fact.of_strings "a" [ "a" ] in
+  let e = P.Enumerate.create ~smallest_first:true acc_program db goal in
+  match P.Enumerate.next e with
+  | Some first ->
+    Alcotest.(check int) "first is smallest" 1 (D.Fact.Set.cardinal first);
+    Alcotest.(check bool) "it is {s(a)}" true
+      (D.Fact.Set.equal first (D.Fact.Set.singleton (D.Fact.of_strings "s" [ "a" ])))
+  | None -> Alcotest.fail "a(a) has explanations"
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "cardinality",
+    [
+      tc "at-most model counts" `Quick test_at_most_counts;
+      tc "outputs monotone" `Quick test_outputs_monotone;
+      tc "smallest-first order" `Quick test_smallest_first_order;
+      tc "smallest-first example 1" `Quick test_smallest_first_example1;
+    ] )

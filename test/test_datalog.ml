@@ -1,0 +1,350 @@
+(* Tests for the Datalog substrate: parser, classification, evaluation
+   (naive vs semi-naive), derivations, ranks. *)
+
+module D = Datalog
+
+let fact = Alcotest.testable D.Fact.pp D.Fact.equal
+
+let tc_program = {|
+  % transitive closure
+  path(X,Y) :- edge(X,Y).
+  path(X,Z) :- path(X,Y), edge(Y,Z).
+|}
+
+let parse_program src = fst (D.Parser.program_of_string src)
+
+let facts_of_strings l =
+  List.map (fun (p, args) -> D.Fact.of_strings p args) l
+
+(* --- Parser ----------------------------------------------------------- *)
+
+let test_parse_basic () =
+  let clauses = D.Parser.parse_string {|
+    edge(a,b). edge(b,c).
+    path(X,Y) :- edge(X,Y).
+  |} in
+  let rules, facts = D.Parser.split clauses in
+  Alcotest.(check int) "rules" 1 (List.length rules);
+  Alcotest.(check int) "facts" 2 (List.length facts);
+  Alcotest.check fact "first fact" (D.Fact.of_strings "edge" [ "a"; "b" ])
+    (List.hd facts)
+
+let test_parse_comments_and_quotes () =
+  let clauses =
+    D.Parser.parse_string
+      "% leading comment\nname('Alice Smith', 42). % trailing\n"
+  in
+  match clauses with
+  | [ D.Parser.Clause_fact f ] ->
+    Alcotest.check fact "quoted" (D.Fact.of_strings "name" [ "Alice Smith"; "42" ]) f
+  | _ -> Alcotest.fail "expected one fact"
+
+let test_parse_zero_arity () =
+  match D.Parser.parse_string "ok. bad :- nope." with
+  | [ D.Parser.Clause_fact f; D.Parser.Clause_rule r ] ->
+    Alcotest.(check string) "prop fact" "ok" (D.Fact.to_string f);
+    Alcotest.(check string) "prop rule" "bad :- nope." (D.Rule.to_string r)
+  | _ -> Alcotest.fail "expected fact + rule"
+
+let test_parse_errors () =
+  let expect_error src =
+    match D.Parser.parse_string src with
+    | exception D.Parser.Error _ -> ()
+    | _ -> Alcotest.failf "expected syntax error on %S" src
+  in
+  expect_error "p(X).";            (* non-ground fact *)
+  expect_error "p(a) :- .";
+  expect_error "p(a)";             (* missing dot *)
+  expect_error "p(X) :- q(Y).";    (* unsafe rule *)
+  expect_error ":- q(a).";
+  expect_error "p(a,).";
+  expect_error "p : q."
+
+let test_parse_roundtrip_pp () =
+  let program = parse_program tc_program in
+  let printed = Format.asprintf "%a" D.Program.pp program in
+  let reparsed = parse_program printed in
+  Alcotest.(check int) "same rule count"
+    (List.length (D.Program.rules program))
+    (List.length (D.Program.rules reparsed));
+  List.iter2
+    (fun r1 r2 ->
+      Alcotest.(check bool) "rule equal" true (D.Rule.equal r1 r2))
+    (D.Program.rules program)
+    (D.Program.rules reparsed)
+
+(* --- Program classification ------------------------------------------ *)
+
+let test_edb_idb () =
+  let program = parse_program tc_program in
+  Alcotest.(check (list string)) "edb" [ "edge" ]
+    (List.map D.Symbol.name (D.Program.edb program));
+  Alcotest.(check (list string)) "idb" [ "path" ]
+    (List.map D.Symbol.name (D.Program.idb program))
+
+let test_classification () =
+  let check src linear recursive =
+    let program = parse_program src in
+    Alcotest.(check bool) "linear" linear (D.Program.is_linear program);
+    Alcotest.(check bool) "recursive" recursive (D.Program.is_recursive program)
+  in
+  (* transitive closure: linear, recursive *)
+  check tc_program true true;
+  (* path accessibility (paper Example 1): non-linear, recursive *)
+  check {|
+    a(X) :- s(X).
+    a(X) :- a(Y), a(Z), t(Y,Z,X).
+  |} false true;
+  (* projection chain: linear, non-recursive *)
+  check {|
+    q(X) :- r(X,Y).
+    s(X) :- q(X), u(X).
+  |} true false;
+  (* non-linear non-recursive *)
+  check {|
+    q(X,Z) :- r(X,Y), r(Y,Z).
+    s(X) :- q(X,Y), q(Y,X).
+  |} false false
+
+let test_query_class_strings () =
+  Alcotest.(check string) "tc class" "linear, recursive"
+    (D.Program.query_class (parse_program tc_program))
+
+let test_arity_mismatch_rejected () =
+  match parse_program "p(X) :- e(X,Y).\np(X,Y) :- e(X,Y)." with
+  | exception Invalid_argument _ -> ()
+  | exception D.Parser.Error _ -> ()
+  | _ -> Alcotest.fail "arity mismatch must be rejected"
+
+(* --- Evaluation -------------------------------------------------------- *)
+
+let chain_db n =
+  (* edge(c0,c1), ..., edge(c_{n-1}, c_n) *)
+  List.init n (fun i ->
+      D.Fact.of_strings "edge"
+        [ Printf.sprintf "c%d" i; Printf.sprintf "c%d" (i + 1) ])
+
+let test_transitive_closure_eval () =
+  let program = parse_program tc_program in
+  let db = D.Database.of_list (chain_db 5) in
+  let model = D.Eval.seminaive program db in
+  (* 5 edges + 15 paths *)
+  Alcotest.(check int) "model size" 20 (D.Database.size model);
+  Alcotest.(check bool) "path(c0,c5)" true
+    (D.Database.mem model (D.Fact.of_strings "path" [ "c0"; "c5" ]));
+  Alcotest.(check bool) "no path(c5,c0)" false
+    (D.Database.mem model (D.Fact.of_strings "path" [ "c5"; "c0" ]))
+
+let random_graph_db rng ~nodes ~edges =
+  List.init edges (fun _ ->
+      let a = Util.Rng.int rng nodes and b = Util.Rng.int rng nodes in
+      D.Fact.of_strings "edge"
+        [ Printf.sprintf "n%d" a; Printf.sprintf "n%d" b ])
+
+let test_naive_equals_seminaive () =
+  let rng = Util.Rng.create 11 in
+  let program = parse_program tc_program in
+  for _ = 1 to 25 do
+    let nodes = 2 + Util.Rng.int rng 8 in
+    let edges = Util.Rng.int rng 20 in
+    let db = D.Database.of_list (random_graph_db rng ~nodes ~edges) in
+    let m1 = D.Eval.naive program db in
+    let m2 = D.Eval.seminaive program db in
+    Alcotest.(check bool) "models equal" true
+      (D.Fact.Set.equal (D.Database.to_set m1) (D.Database.to_set m2))
+  done
+
+let test_nonlinear_eval () =
+  (* Paper Example 1: path accessibility. *)
+  let program = parse_program {|
+    a(X) :- s(X).
+    a(X) :- a(Y), a(Z), t(Y,Z,X).
+  |} in
+  let db =
+    D.Database.of_list
+      (facts_of_strings
+         [ ("s", [ "a" ]); ("t", [ "a"; "a"; "b" ]); ("t", [ "a"; "a"; "c" ]);
+           ("t", [ "a"; "a"; "d" ]); ("t", [ "b"; "c"; "a" ]) ])
+  in
+  let answers = D.Eval.answers program (D.Symbol.intern "a") db in
+  Alcotest.(check (list string)) "accessible"
+    [ "a(a)"; "a(b)"; "a(c)"; "a(d)" ]
+    (List.map D.Fact.to_string answers)
+
+let test_constants_in_rules () =
+  let program = parse_program "special(X) :- edge(a,X)." in
+  let db = D.Database.of_list (facts_of_strings
+    [ ("edge", ["a"; "b"]); ("edge", ["b"; "c"]); ("edge", ["a"; "c"]) ]) in
+  let answers = D.Eval.answers program (D.Symbol.intern "special") db in
+  Alcotest.(check (list string)) "from a" [ "special(b)"; "special(c)" ]
+    (List.map D.Fact.to_string answers)
+
+let test_repeated_vars_in_atom () =
+  let program = parse_program "loop(X) :- edge(X,X)." in
+  let db = D.Database.of_list (facts_of_strings
+    [ ("edge", ["a"; "b"]); ("edge", ["b"; "b"]) ]) in
+  let answers = D.Eval.answers program (D.Symbol.intern "loop") db in
+  Alcotest.(check (list string)) "self loops" [ "loop(b)" ]
+    (List.map D.Fact.to_string answers)
+
+let test_empty_database () =
+  let program = parse_program tc_program in
+  let model = D.Eval.seminaive program (D.Database.create ()) in
+  Alcotest.(check int) "empty model" 0 (D.Database.size model)
+
+let test_holds () =
+  let program = parse_program tc_program in
+  let db = D.Database.of_list (chain_db 3) in
+  Alcotest.(check bool) "holds" true
+    (D.Eval.holds program db (D.Fact.of_strings "path" [ "c0"; "c3" ]));
+  Alcotest.(check bool) "not holds" false
+    (D.Eval.holds program db (D.Fact.of_strings "path" [ "c3"; "c0" ]))
+
+(* --- Derivations ------------------------------------------------------- *)
+
+let test_derivations () =
+  let program = parse_program tc_program in
+  let db = D.Database.of_list (chain_db 3) in
+  let model = D.Eval.seminaive program db in
+  (* path(c0,c2) has exactly one derivation:
+     path(c0,c2) :- path(c0,c1), edge(c1,c2). *)
+  let ds = D.Eval.derivations program model (D.Fact.of_strings "path" [ "c0"; "c2" ]) in
+  Alcotest.(check int) "one derivation" 1 (List.length ds);
+  let _, body = List.hd ds in
+  Alcotest.(check (list string)) "body"
+    [ "path(c0,c1)"; "edge(c1,c2)" ]
+    (List.map D.Fact.to_string body);
+  (* edge facts have no derivations (they are extensional). *)
+  let ds = D.Eval.derivations program model (D.Fact.of_strings "edge" [ "c0"; "c1" ]) in
+  Alcotest.(check int) "edb underivable" 0 (List.length ds)
+
+let test_derivations_multiple () =
+  let program = parse_program tc_program in
+  (* Diamond: two ways to reach d from a. *)
+  let db = D.Database.of_list (facts_of_strings
+    [ ("edge", ["a"; "b"]); ("edge", ["a"; "c"]);
+      ("edge", ["b"; "d"]); ("edge", ["c"; "d"]) ]) in
+  let model = D.Eval.seminaive program db in
+  let ds = D.Eval.derivations program model (D.Fact.of_strings "path" [ "a"; "d" ]) in
+  Alcotest.(check int) "two derivations" 2 (List.length ds)
+
+(* --- Ranks ------------------------------------------------------------- *)
+
+let test_ranks_chain () =
+  let program = parse_program tc_program in
+  let db = D.Database.of_list (chain_db 4) in
+  let ranks = D.Fact.Table.create 64 in
+  let _model = D.Eval.seminaive ~ranks program db in
+  let rank_of p args = D.Fact.Table.find ranks (D.Fact.of_strings p args) in
+  Alcotest.(check int) "edb rank" 0 (rank_of "edge" [ "c0"; "c1" ]);
+  Alcotest.(check int) "1-step" 1 (rank_of "path" [ "c0"; "c1" ]);
+  Alcotest.(check int) "2-step" 2 (rank_of "path" [ "c0"; "c2" ]);
+  Alcotest.(check int) "4-step" 4 (rank_of "path" [ "c0"; "c4" ])
+
+let test_ranks_are_minimal () =
+  (* rank = min over rule instances of 1 + max body rank (Prop. 28). *)
+  let rng = Util.Rng.create 17 in
+  let program = parse_program tc_program in
+  for _ = 1 to 20 do
+    let db =
+      D.Database.of_list
+        (random_graph_db rng ~nodes:(2 + Util.Rng.int rng 6)
+           ~edges:(Util.Rng.int rng 15))
+    in
+    let ranks = D.Fact.Table.create 64 in
+    let model = D.Eval.seminaive ~ranks program db in
+    D.Database.iter
+      (fun f ->
+        let r = D.Fact.Table.find ranks f in
+        if D.Database.mem db f then Alcotest.(check int) "edb 0" 0 r
+        else begin
+          let ds = D.Eval.derivations program model f in
+          let best =
+            List.fold_left
+              (fun acc (_, body) ->
+                let cost =
+                  1 + List.fold_left (fun m b -> max m (D.Fact.Table.find ranks b)) 0 body
+                in
+                min acc cost)
+              max_int ds
+          in
+          Alcotest.(check int) "rank minimal" best r
+        end)
+      model
+  done
+
+let test_zero_arity_eval () =
+  let program = parse_program "q :- p.\nr :- q, s." in
+  let db = D.Database.of_list [ D.Fact.of_strings "p" []; D.Fact.of_strings "s" [] ] in
+  let model = D.Eval.seminaive program db in
+  Alcotest.(check bool) "q" true (D.Database.mem model (D.Fact.of_strings "q" []));
+  Alcotest.(check bool) "r" true (D.Database.mem model (D.Fact.of_strings "r" []));
+  (* And its provenance machinery works at arity 0. *)
+  let family =
+    Provenance.Enumerate.to_list
+      (Provenance.Enumerate.create program db (D.Fact.of_strings "r" []))
+  in
+  Alcotest.(check int) "one member" 1 (List.length family)
+
+let test_database_introspection () =
+  let db = D.Database.of_list (chain_db 3) in
+  Alcotest.(check (list string)) "preds" [ "edge" ]
+    (List.map D.Symbol.name (D.Database.preds db));
+  Alcotest.(check int) "count" 3 (D.Database.count_pred db (D.Symbol.intern "edge"));
+  Alcotest.(check int) "domain size" 4 (List.length (D.Database.domain db));
+  let copy = D.Database.copy db in
+  ignore (D.Database.add copy (D.Fact.of_strings "edge" [ "x"; "y" ]));
+  Alcotest.(check int) "copy independent" 3 (D.Database.size db);
+  Alcotest.(check bool) "add dedup" false
+    (D.Database.add copy (D.Fact.of_strings "edge" [ "x"; "y" ]))
+
+let test_check_database () =
+  let program = parse_program tc_program in
+  let good = D.Fact.Set.of_list (chain_db 2) in
+  Alcotest.(check bool) "good db" true (D.Program.check_database program good = Ok ());
+  let idb_fact = D.Fact.Set.singleton (D.Fact.of_strings "path" [ "a"; "b" ]) in
+  Alcotest.(check bool) "idb fact rejected" true
+    (D.Program.check_database program idb_fact <> Ok ());
+  let bad_arity = D.Fact.Set.singleton (D.Fact.of_strings "edge" [ "a" ]) in
+  Alcotest.(check bool) "arity rejected" true
+    (D.Program.check_database program bad_arity <> Ok ())
+
+let test_parse_file () =
+  let path = Filename.temp_file "whyprov" ".dl" in
+  let oc = open_out path in
+  output_string oc "p(X) :- e(X,Y).\ne(a,b).\n";
+  close_out oc;
+  let rules, facts = D.Parser.split (D.Parser.parse_file path) in
+  Sys.remove path;
+  Alcotest.(check int) "rules" 1 (List.length rules);
+  Alcotest.(check int) "facts" 1 (List.length facts)
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "datalog",
+    [
+      tc "parse basic" `Quick test_parse_basic;
+      tc "parse comments/quotes" `Quick test_parse_comments_and_quotes;
+      tc "parse zero arity" `Quick test_parse_zero_arity;
+      tc "parse errors" `Quick test_parse_errors;
+      tc "parse pp roundtrip" `Quick test_parse_roundtrip_pp;
+      tc "edb/idb split" `Quick test_edb_idb;
+      tc "classification" `Quick test_classification;
+      tc "query class strings" `Quick test_query_class_strings;
+      tc "arity mismatch" `Quick test_arity_mismatch_rejected;
+      tc "transitive closure" `Quick test_transitive_closure_eval;
+      tc "naive = seminaive" `Quick test_naive_equals_seminaive;
+      tc "non-linear eval" `Quick test_nonlinear_eval;
+      tc "constants in rules" `Quick test_constants_in_rules;
+      tc "repeated vars" `Quick test_repeated_vars_in_atom;
+      tc "empty database" `Quick test_empty_database;
+      tc "holds" `Quick test_holds;
+      tc "derivations" `Quick test_derivations;
+      tc "derivations multiple" `Quick test_derivations_multiple;
+      tc "ranks chain" `Quick test_ranks_chain;
+      tc "ranks minimal" `Quick test_ranks_are_minimal;
+      tc "zero-arity predicates" `Quick test_zero_arity_eval;
+      tc "database introspection" `Quick test_database_introspection;
+      tc "check_database" `Quick test_check_database;
+      tc "parse file" `Quick test_parse_file;
+    ] )

@@ -1,0 +1,163 @@
+(* Tests for DRAT proof logging and the independent RUP checker:
+   every UNSAT answer comes with a machine-checkable refutation. *)
+
+module P = Provenance
+
+let random_cnf rng ~nvars ~nclauses =
+  List.init nclauses (fun _ ->
+      let k = 1 + Util.Rng.int rng 3 in
+      List.init k (fun _ ->
+          let v = Util.Rng.int rng nvars in
+          if Util.Rng.bool rng then Sat.Lit.pos v else Sat.Lit.neg v))
+
+let solve_logged clauses nvars =
+  let s = Sat.Solver.create () in
+  Sat.Solver.enable_proof_logging s;
+  Sat.Solver.ensure_vars s nvars;
+  List.iter (Sat.Solver.add_clause s) clauses;
+  let result = Sat.Solver.solve s in
+  (result, Sat.Solver.proof s)
+
+let test_unsat_proofs_check () =
+  let rng = Util.Rng.create 101 in
+  let checked = ref 0 in
+  for _ = 1 to 200 do
+    let nvars = 2 + Util.Rng.int rng 7 in
+    let nclauses = 5 + Util.Rng.int rng 30 in
+    let clauses = random_cnf rng ~nvars ~nclauses in
+    match solve_logged clauses nvars with
+    | Sat.Solver.Sat, proof -> (
+      (* Lemmas of SAT runs must still be RUP-valid. *)
+      match Sat.Drat.check_lemmas ~nvars ~original:clauses ~proof with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "SAT-run lemmas rejected: %s" e)
+    | Sat.Solver.Unsat, proof -> (
+      incr checked;
+      match Sat.Drat.check ~nvars ~original:clauses ~proof with
+      | Ok () -> ()
+      | Error e ->
+        Alcotest.failf "refutation rejected (%s) for\n%s\nproof:\n%s" e
+          (Sat.Dimacs.to_string ~nvars clauses)
+          proof)
+  done;
+  Alcotest.(check bool) "saw unsat instances" true (!checked > 20)
+
+let pigeonhole n =
+  let v p h = (p * n) + h in
+  let open Sat.Lit in
+  let per_pigeon = List.init (n + 1) (fun p -> List.init n (fun h -> pos (v p h))) in
+  let conflicts = ref [] in
+  for h = 0 to n - 1 do
+    for p1 = 0 to n do
+      for p2 = p1 + 1 to n do
+        conflicts := [ neg (v p1 h); neg (v p2 h) ] :: !conflicts
+      done
+    done
+  done;
+  (per_pigeon @ !conflicts, (n + 1) * n)
+
+let test_pigeonhole_proof () =
+  let clauses, nvars = pigeonhole 4 in
+  match solve_logged clauses nvars with
+  | Sat.Solver.Sat, _ -> Alcotest.fail "PHP(5,4) is UNSAT"
+  | Sat.Solver.Unsat, proof -> (
+    Alcotest.(check bool) "proof non-trivial" true (String.length proof > 100);
+    match Sat.Drat.check ~nvars ~original:clauses ~proof with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "PHP proof rejected: %s" e)
+
+let test_corrupted_proof_rejected () =
+  let clauses, nvars = pigeonhole 3 in
+  match solve_logged clauses nvars with
+  | Sat.Solver.Sat, _ -> Alcotest.fail "PHP(4,3) is UNSAT"
+  | Sat.Solver.Unsat, proof ->
+    (* Drop everything but the final empty clause: the refutation must
+       no longer check. *)
+    let corrupted = "0\n" in
+    (match Sat.Drat.check ~nvars ~original:clauses ~proof:corrupted with
+    | Ok () -> Alcotest.fail "empty-clause-only proof must be rejected"
+    | Error _ -> ());
+    (* Inject a non-RUP lemma at the front. *)
+    let bogus = "1 2 3 0\n" ^ proof in
+    (match Sat.Drat.check ~nvars ~original:[ [ Sat.Lit.pos 5 ] ] ~proof:bogus with
+    | Ok () -> Alcotest.fail "bogus lemma must be rejected"
+    | Error _ -> ())
+
+let test_incremental_proof () =
+  (* Blocking-clause enumeration, then a final UNSAT: the whole
+     incremental trace must check against original ∪ blocking clauses. *)
+  let open Sat.Lit in
+  let s = Sat.Solver.create () in
+  Sat.Solver.enable_proof_logging s;
+  Sat.Solver.ensure_vars s 3;
+  let original = ref [ [ pos 0; pos 1; pos 2 ] ] in
+  List.iter (Sat.Solver.add_clause s) !original;
+  let rec drain () =
+    match Sat.Solver.solve s with
+    | Sat.Solver.Unsat -> ()
+    | Sat.Solver.Sat ->
+      let m = Sat.Solver.model s in
+      let blocking =
+        List.init 3 (fun v -> if m.(v) then neg v else pos v)
+      in
+      original := blocking :: !original;
+      Sat.Solver.add_clause s blocking;
+      drain ()
+  in
+  drain ();
+  match Sat.Drat.check ~nvars:3 ~original:!original ~proof:(Sat.Solver.proof s) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "incremental proof rejected: %s" e
+
+let test_enumeration_exhaustion_certified () =
+  (* End-to-end: certify that a why-provenance enumeration really was
+     exhaustive, by checking the final UNSAT proof against the encoding
+     clauses plus the emitted blocking clauses. *)
+  let program = fst (Datalog.Parser.program_of_string {|
+    a(X) :- s(X).
+    a(X) :- a(Y), a(Z), t(Y,Z,X).
+  |}) in
+  let db =
+    Datalog.Database.of_list
+      (List.map
+         (fun (p, args) -> Datalog.Fact.of_strings p args)
+         [ ("s", [ "a" ]); ("s", [ "b" ]); ("t", [ "a"; "a"; "c" ]);
+           ("t", [ "b"; "b"; "c" ]); ("t", [ "c"; "c"; "d" ]) ])
+  in
+  let goal = Datalog.Fact.of_strings "a" [ "d" ] in
+  let closure = P.Closure.build program db goal in
+  let encoding = P.Encode.make ~capture:true closure in
+  let solver = P.Encode.solver encoding in
+  Sat.Solver.enable_proof_logging solver;
+  let e = P.Enumerate.of_parts closure encoding in
+  let members = ref [] in
+  let rec drain () =
+    match P.Enumerate.next e with
+    | None -> ()
+    | Some m ->
+      members := m :: !members;
+      drain ()
+  in
+  drain ();
+  Alcotest.(check int) "two members" 2 (List.length !members);
+  let blocking =
+    List.map (P.Encode.blocking_clause encoding) !members
+  in
+  let original =
+    Option.get (P.Encode.captured_clauses encoding) @ blocking
+  in
+  let nvars = Sat.Solver.num_vars solver in
+  match Sat.Drat.check ~nvars ~original ~proof:(Sat.Solver.proof solver) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "exhaustion certificate rejected: %s" msg
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "drat",
+    [
+      tc "random unsat proofs" `Quick test_unsat_proofs_check;
+      tc "pigeonhole proof" `Quick test_pigeonhole_proof;
+      tc "corrupted proof rejected" `Quick test_corrupted_proof_rejected;
+      tc "incremental proof" `Quick test_incremental_proof;
+      tc "enumeration exhaustion certified" `Quick test_enumeration_exhaustion_certified;
+    ] )

@@ -1,0 +1,180 @@
+(* Tests for the high-level facade, the budgeted solver interface, clause
+   capture, and the full-model materialization baseline. *)
+
+module D = Datalog
+module P = Provenance
+
+let parse_program src = fst (D.Parser.program_of_string src)
+
+let acc_program = parse_program {|
+  a(X) :- s(X).
+  a(X) :- a(Y), a(Z), t(Y,Z,X).
+|}
+
+let example4_db =
+  D.Database.of_list
+    (List.map
+       (fun (p, args) -> D.Fact.of_strings p args)
+       [ ("s", [ "a" ]); ("s", [ "b" ]); ("t", [ "a"; "a"; "c" ]);
+         ("t", [ "b"; "b"; "c" ]); ("t", [ "c"; "c"; "d" ]) ])
+
+(* --- Explain facade ----------------------------------------------------- *)
+
+let test_query_validation () =
+  (match P.Explain.query acc_program "s" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "edb predicate must be rejected");
+  match P.Explain.query acc_program "nosuch" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown predicate must be rejected"
+
+let test_goal_arity () =
+  let q = P.Explain.query acc_program "a" in
+  match P.Explain.goal q [ "x"; "y" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "wrong arity must be rejected"
+
+let test_explain_exact_total () =
+  let q = P.Explain.query acc_program "a" in
+  let e = P.Explain.explain q example4_db (P.Explain.goal q [ "d" ]) in
+  (match e.P.Explain.total with
+  | `Exactly 2 -> ()
+  | `Exactly n -> Alcotest.failf "expected 2 members, got %d" n
+  | `At_least _ -> Alcotest.fail "enumeration should be exhausted");
+  Alcotest.(check int) "members listed" 2 (List.length e.P.Explain.members)
+
+let test_explain_truncation () =
+  let q = P.Explain.query acc_program "a" in
+  let e = P.Explain.explain ~limit:1 q example4_db (P.Explain.goal q [ "d" ]) in
+  match e.P.Explain.total with
+  | `At_least 2 -> ()
+  | `At_least n -> Alcotest.failf "expected at-least 2, got %d" n
+  | `Exactly _ -> Alcotest.fail "limit 1 of a 2-member family must truncate"
+
+let test_explain_underivable () =
+  let q = P.Explain.query acc_program "a" in
+  let e = P.Explain.explain q example4_db (P.Explain.goal q [ "zzz" ]) in
+  match e.P.Explain.total with
+  | `Exactly 0 -> ()
+  | _ -> Alcotest.fail "underivable tuple has empty provenance"
+
+(* --- Budgeted solving ---------------------------------------------------- *)
+
+let test_solve_limited_gives_up () =
+  (* A hard formula (PHP 8) with a tiny budget must return None; with a
+     large budget, Some Unsat. *)
+  let n = 8 in
+  let v p h = (p * n) + h in
+  let open Sat.Lit in
+  let s = Sat.Solver.create () in
+  List.iter (Sat.Solver.add_clause s)
+    (List.init (n + 1) (fun p -> List.init n (fun h -> pos (v p h))));
+  for h = 0 to n - 1 do
+    for p1 = 0 to n do
+      for p2 = p1 + 1 to n do
+        Sat.Solver.add_clause s [ neg (v p1 h); neg (v p2 h) ]
+      done
+    done
+  done;
+  (match Sat.Solver.solve_limited ~conflict_budget:10 s with
+  | None -> ()
+  | Some _ -> Alcotest.fail "PHP(9,8) cannot be decided in 10 conflicts");
+  (* The work is resumable: further budgets eventually finish. *)
+  let rec finish rounds =
+    if rounds > 1000 then Alcotest.fail "never finished"
+    else
+      match Sat.Solver.solve_limited ~conflict_budget:5000 s with
+      | None -> finish (rounds + 1)
+      | Some Sat.Solver.Unsat -> ()
+      | Some Sat.Solver.Sat -> Alcotest.fail "PHP is UNSAT"
+  in
+  finish 0
+
+let test_enumerate_next_limited () =
+  let q = P.Explain.query acc_program "a" in
+  let goal = P.Explain.goal q [ "d" ] in
+  let e = P.Enumerate.create acc_program example4_db goal in
+  let seen = ref 0 in
+  let rec loop () =
+    match P.Enumerate.next_limited ~conflict_budget:100_000 e with
+    | `Member _ ->
+      incr seen;
+      loop ()
+    | `Exhausted -> ()
+    | `Gave_up -> Alcotest.fail "tiny instance cannot exhaust the budget"
+  in
+  loop ();
+  Alcotest.(check int) "two members" 2 !seen
+
+(* --- Clause capture and cross-solver agreement --------------------------- *)
+
+let test_capture_and_dpll_agreement () =
+  let closure = P.Closure.build acc_program example4_db (D.Fact.of_strings "a" [ "d" ]) in
+  let encoding = P.Encode.make ~capture:true closure in
+  match P.Encode.captured_clauses encoding with
+  | None -> Alcotest.fail "capture requested"
+  | Some clauses ->
+    let nvars = Sat.Solver.num_vars (P.Encode.solver encoding) in
+    Alcotest.(check int) "clause count matches stats"
+      (P.Encode.stats encoding).P.Encode.clauses (List.length clauses);
+    (* DPLL on the captured formula agrees with CDCL. *)
+    let dpll_sat = Sat.Reference.dpll ~nvars clauses <> None in
+    let cdcl_sat = Sat.Solver.solve (P.Encode.solver encoding) = Sat.Solver.Sat in
+    Alcotest.(check bool) "solvers agree" dpll_sat cdcl_sat
+
+let test_no_capture_by_default () =
+  let closure = P.Closure.build acc_program example4_db (D.Fact.of_strings "a" [ "d" ]) in
+  let encoding = P.Encode.make closure in
+  Alcotest.(check bool) "no capture" true (P.Encode.captured_clauses encoding = None)
+
+(* --- Full-model materialization baseline --------------------------------- *)
+
+let test_why_full_equals_why () =
+  let rng = Util.Rng.create 77 in
+  for _ = 1 to 10 do
+    let consts = [| "a"; "b"; "c"; "d" |] in
+    let facts =
+      D.Fact.of_strings "s" [ "a" ]
+      :: List.init (2 + Util.Rng.int rng 3) (fun _ ->
+             D.Fact.of_strings "t"
+               [ Util.Rng.choose rng consts; Util.Rng.choose rng consts;
+                 Util.Rng.choose rng consts ])
+    in
+    let db = D.Database.of_list facts in
+    let model = D.Eval.seminaive acc_program db in
+    D.Database.iter_pred model (D.Symbol.intern "a") (fun goal ->
+        let closure_based = P.Materialize.why acc_program db goal in
+        let full = P.Materialize.why_full acc_program db goal in
+        Alcotest.(check int)
+          (Printf.sprintf "family sizes for %s" (D.Fact.to_string goal))
+          (List.length closure_based) (List.length full);
+        List.iter2
+          (fun m1 m2 ->
+            Alcotest.(check bool) "members equal" true (D.Fact.Set.equal m1 m2))
+          closure_based full)
+  done
+
+let test_why_full_budget () =
+  match
+    P.Materialize.why_full ~max_members:1 acc_program example4_db
+      (D.Fact.of_strings "a" [ "d" ])
+  with
+  | exception P.Materialize.Budget_exceeded -> ()
+  | _ -> Alcotest.fail "budget of 1 must be exceeded"
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "explain",
+    [
+      tc "query validation" `Quick test_query_validation;
+      tc "goal arity" `Quick test_goal_arity;
+      tc "explain exact total" `Quick test_explain_exact_total;
+      tc "explain truncation" `Quick test_explain_truncation;
+      tc "explain underivable" `Quick test_explain_underivable;
+      tc "solve_limited gives up" `Quick test_solve_limited_gives_up;
+      tc "next_limited" `Quick test_enumerate_next_limited;
+      tc "capture + dpll agreement" `Quick test_capture_and_dpll_agreement;
+      tc "no capture by default" `Quick test_no_capture_by_default;
+      tc "why_full = why" `Quick test_why_full_equals_why;
+      tc "why_full budget" `Quick test_why_full_budget;
+    ] )

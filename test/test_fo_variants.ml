@@ -1,0 +1,178 @@
+(* Tests for the refined-class FO rewritings (Theorems 25, 14(2), 36):
+   membership through cq≈(Q) agrees with the exhaustive oracles on
+   random non-recursive instances. *)
+
+module D = Datalog
+module P = Provenance
+
+let parse_program src = fst (D.Parser.program_of_string src)
+
+(* A non-recursive, non-linear program where the proof-tree classes
+   genuinely differ: q(X) can use p(X,Y) twice (ambiguously), and
+   chains of different depths derive the same answers. *)
+let diamond_program = parse_program {|
+  p(X,Y) :- e(X,Y).
+  p(X,Y) :- f(X,Y).
+  q(X) :- p(X,Y), p(X,Z).
+  q(X) :- g(X).
+|}
+
+let random_db rng =
+  let consts = [| "a"; "b"; "c" |] in
+  let facts = ref [] in
+  let add_random pred arity =
+    for _ = 1 to Util.Rng.int rng 3 do
+      facts :=
+        D.Fact.make (D.Symbol.intern pred)
+          (Array.init arity (fun _ -> D.Symbol.intern (Util.Rng.choose rng consts)))
+        :: !facts
+    done
+  in
+  add_random "e" 2;
+  add_random "f" 2;
+  add_random "g" 1;
+  D.Database.of_list !facts
+
+let family_contains family candidate =
+  List.exists (D.Fact.Set.equal candidate) family
+
+let test_variant_counts () =
+  let q = D.Symbol.intern "q" in
+  let any = P.Fo_rewrite.compile ~variant:P.Fo_rewrite.Any diamond_program q in
+  let nr = P.Fo_rewrite.compile ~variant:P.Fo_rewrite.Non_recursive diamond_program q in
+  let un = P.Fo_rewrite.compile ~variant:P.Fo_rewrite.Unambiguous diamond_program q in
+  (* For a non-recursive program every proof tree is non-recursive, so
+     the Any and Non_recursive CQ sets coincide; the unambiguous set can
+     only be smaller. *)
+  Alcotest.(check int) "any = nr" (P.Fo_rewrite.cq_count any) (P.Fo_rewrite.cq_count nr);
+  Alcotest.(check bool) "un <= any" true
+    (P.Fo_rewrite.cq_count un <= P.Fo_rewrite.cq_count any);
+  Alcotest.(check bool) "non-trivial" true (P.Fo_rewrite.cq_count any > 3)
+
+let test_un_variant_vs_oracle () =
+  let rng = Util.Rng.create 71 in
+  let q = D.Symbol.intern "q" in
+  let rewriting = P.Fo_rewrite.compile ~variant:P.Fo_rewrite.Unambiguous diamond_program q in
+  for _ = 1 to 25 do
+    let db = random_db rng in
+    let all_facts = Array.of_list (D.Database.to_list db) in
+    for _ = 1 to 8 do
+      let candidate =
+        Array.fold_left
+          (fun acc f -> if Util.Rng.bool rng then D.Fact.Set.add f acc else acc)
+          D.Fact.Set.empty all_facts
+      in
+      Array.iter
+        (fun c ->
+          let tuple = [| D.Symbol.intern c |] in
+          let goal = D.Fact.make q tuple in
+          let expected =
+            family_contains
+              (P.Naive.why_un diamond_program (D.Database.of_set candidate) goal)
+              candidate
+          in
+          let got = P.Fo_rewrite.member rewriting candidate tuple in
+          if expected <> got then
+            Alcotest.failf "UN rewriting disagrees on %s / %s (expected %b)"
+              (D.Fact.to_string goal)
+              (Format.asprintf "%a" D.Fact.pp_set candidate)
+              expected)
+        [| "a"; "b"; "c" |]
+    done
+  done
+
+let test_nr_variant_vs_oracle () =
+  let rng = Util.Rng.create 72 in
+  let q = D.Symbol.intern "q" in
+  let rewriting =
+    P.Fo_rewrite.compile ~variant:P.Fo_rewrite.Non_recursive diamond_program q
+  in
+  for _ = 1 to 25 do
+    let db = random_db rng in
+    let all_facts = Array.of_list (D.Database.to_list db) in
+    for _ = 1 to 8 do
+      let candidate =
+        Array.fold_left
+          (fun acc f -> if Util.Rng.bool rng then D.Fact.Set.add f acc else acc)
+          D.Fact.Set.empty all_facts
+      in
+      Array.iter
+        (fun c ->
+          let tuple = [| D.Symbol.intern c |] in
+          let goal = D.Fact.make q tuple in
+          let expected = P.Membership.why_nr diamond_program db goal candidate in
+          let got = P.Fo_rewrite.member rewriting candidate tuple in
+          if expected <> got then
+            Alcotest.failf "NR rewriting disagrees on %s / %s (expected %b)"
+              (D.Fact.to_string goal)
+              (Format.asprintf "%a" D.Fact.pp_set candidate)
+              expected)
+        [| "a"; "b"; "c" |]
+    done
+  done
+
+let test_md_variant_vs_oracle () =
+  (* The FO query decides minimal depth relative to the candidate D'
+     (see the module documentation); the oracle is why_MD over D'. *)
+  let rng = Util.Rng.create 73 in
+  let q = D.Symbol.intern "q" in
+  let rewriting =
+    P.Fo_rewrite.compile ~variant:P.Fo_rewrite.Minimal_depth diamond_program q
+  in
+  for _ = 1 to 25 do
+    let db = random_db rng in
+    let all_facts = Array.of_list (D.Database.to_list db) in
+    for _ = 1 to 8 do
+      let candidate =
+        Array.fold_left
+          (fun acc f -> if Util.Rng.bool rng then D.Fact.Set.add f acc else acc)
+          D.Fact.Set.empty all_facts
+      in
+      Array.iter
+        (fun c ->
+          let tuple = [| D.Symbol.intern c |] in
+          let goal = D.Fact.make q tuple in
+          let expected =
+            family_contains
+              (P.Naive.why_md diamond_program (D.Database.of_set candidate) goal)
+              candidate
+          in
+          let got = P.Fo_rewrite.member rewriting candidate tuple in
+          if expected <> got then
+            Alcotest.failf "MD rewriting disagrees on %s / %s (expected %b)"
+              (D.Fact.to_string goal)
+              (Format.asprintf "%a" D.Fact.pp_set candidate)
+              expected)
+        [| "a"; "b"; "c" |]
+    done
+  done
+
+let test_md_depth_sensitivity () =
+  (* The shallow g-rule must beat the deeper p-chain when both are in
+     the candidate: {e(a,b), g(a)} is not an MD member (the g tree is
+     shallower and does not cover e), but {g(a)} is, and {e(a,b)} is
+     (within itself the p-chain is minimal). *)
+  let q = D.Symbol.intern "q" in
+  let rewriting =
+    P.Fo_rewrite.compile ~variant:P.Fo_rewrite.Minimal_depth diamond_program q
+  in
+  let e_ab = D.Fact.of_strings "e" [ "a"; "b" ] in
+  let g_a = D.Fact.of_strings "g" [ "a" ] in
+  let tuple = [| D.Symbol.intern "a" |] in
+  Alcotest.(check bool) "{g(a)} in" true
+    (P.Fo_rewrite.member rewriting (D.Fact.Set.singleton g_a) tuple);
+  Alcotest.(check bool) "{e(a,b)} in" true
+    (P.Fo_rewrite.member rewriting (D.Fact.Set.singleton e_ab) tuple);
+  Alcotest.(check bool) "{e(a,b), g(a)} out" false
+    (P.Fo_rewrite.member rewriting (D.Fact.Set.of_list [ e_ab; g_a ]) tuple)
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "fo-variants",
+    [
+      tc "variant cq counts" `Quick test_variant_counts;
+      tc "unambiguous vs oracle" `Quick test_un_variant_vs_oracle;
+      tc "non-recursive vs oracle" `Quick test_nr_variant_vs_oracle;
+      tc "minimal-depth vs oracle" `Quick test_md_variant_vs_oracle;
+      tc "minimal-depth sensitivity" `Quick test_md_depth_sensitivity;
+    ] )

@@ -1,0 +1,142 @@
+(* Tests for the magic-sets rewriting: goal-directed evaluation agrees
+   with full evaluation filtered to the goal pattern, and actually
+   derives fewer facts. *)
+
+module D = Datalog
+
+let parse_program src = fst (D.Parser.program_of_string src)
+
+let tc_program = parse_program {|
+  tc(X,Y) :- edge(X,Y).
+  tc(X,Z) :- tc(X,Y), edge(Y,Z).
+|}
+
+let goal_atom pred args = D.Atom.of_strings pred args
+
+let matching_answers program answer_pred (goal : D.Atom.t) db =
+  D.Eval.answers program answer_pred db
+  |> List.filter (fun f ->
+         let ok = ref true in
+         Array.iteri
+           (fun i t ->
+             match t with
+             | D.Term.Const c ->
+               if not (D.Symbol.equal (D.Fact.args f).(i) c) then ok := false
+             | D.Term.Var _ -> ())
+           goal.D.Atom.args;
+         !ok)
+
+let check_equiv program answer goal db =
+  let magic = D.Magic.transform program goal in
+  let expected = matching_answers program answer goal db in
+  let got = D.Magic.answers magic db in
+  Alcotest.(check (list string))
+    (Format.asprintf "answers for %a" D.Atom.pp goal)
+    (List.map D.Fact.to_string expected)
+    (List.map D.Fact.to_string got)
+
+let chain_db n =
+  D.Database.of_list
+    (List.init n (fun i ->
+         D.Fact.of_strings "edge"
+           [ Printf.sprintf "c%d" i; Printf.sprintf "c%d" (i + 1) ]))
+
+let test_tc_bound_first () =
+  let db = chain_db 6 in
+  check_equiv tc_program (D.Symbol.intern "tc") (goal_atom "tc" [ "c2"; "Y" ]) db;
+  check_equiv tc_program (D.Symbol.intern "tc") (goal_atom "tc" [ "c0"; "Y" ]) db
+
+let test_tc_both_bound () =
+  let db = chain_db 6 in
+  check_equiv tc_program (D.Symbol.intern "tc") (goal_atom "tc" [ "c1"; "c4" ]) db;
+  (* Non-answer goal: empty both ways. *)
+  check_equiv tc_program (D.Symbol.intern "tc") (goal_atom "tc" [ "c4"; "c1" ]) db
+
+let test_tc_all_free () =
+  let db = chain_db 4 in
+  check_equiv tc_program (D.Symbol.intern "tc") (goal_atom "tc" [ "X"; "Y" ]) db
+
+let test_magic_restricts_derivations () =
+  (* Two disconnected chains; a goal about the first chain must not
+     derive tc facts inside the second chain. *)
+  let facts =
+    List.init 20 (fun i ->
+        D.Fact.of_strings "edge" [ Printf.sprintf "a%d" i; Printf.sprintf "a%d" (i + 1) ])
+    @ List.init 20 (fun i ->
+          D.Fact.of_strings "edge"
+            [ Printf.sprintf "b%d" i; Printf.sprintf "b%d" (i + 1) ])
+  in
+  let db = D.Database.of_list facts in
+  let magic = D.Magic.transform tc_program (goal_atom "tc" [ "a0"; "Y" ]) in
+  let db' = D.Database.of_list (magic.D.Magic.seed :: D.Database.to_list db) in
+  let model = D.Eval.seminaive magic.D.Magic.program db' in
+  let full_model = D.Eval.seminaive tc_program db in
+  Alcotest.(check bool) "magic model smaller" true
+    (D.Database.size model < D.Database.size full_model);
+  (* No adorned tc fact mentions the b-chain. *)
+  D.Database.iter
+    (fun f ->
+      if D.Symbol.name (D.Fact.pred f) = "tc__bf" then
+        Array.iter
+          (fun c ->
+            if String.length (D.Symbol.name c) > 0 && (D.Symbol.name c).[0] = 'b'
+            then Alcotest.failf "irrelevant fact derived: %s" (D.Fact.to_string f))
+          (D.Fact.args f))
+    model
+
+let test_nonlinear_magic () =
+  (* Same-generation: classic magic-sets example, non-linear. *)
+  let program = parse_program {|
+    sg(X,Y) :- flat(X,Y).
+    sg(X,Y) :- up(X,U), sg(U,V), down(V,Y).
+  |} in
+  let rng = Util.Rng.create 15 in
+  for _ = 1 to 15 do
+    let facts = ref [] in
+    let name p i = Printf.sprintf "%s%d" p i in
+    for _ = 1 to 4 + Util.Rng.int rng 6 do
+      let kind = [| "flat"; "up"; "down" |].(Util.Rng.int rng 3) in
+      facts :=
+        D.Fact.of_strings kind
+          [ name "n" (Util.Rng.int rng 6); name "n" (Util.Rng.int rng 6) ]
+        :: !facts
+    done;
+    let db = D.Database.of_list !facts in
+    check_equiv program (D.Symbol.intern "sg") (goal_atom "sg" [ "n0"; "Y" ]) db;
+    check_equiv program (D.Symbol.intern "sg") (goal_atom "sg" [ "X"; "n3" ]) db
+  done
+
+let test_random_graphs_vs_full () =
+  let rng = Util.Rng.create 31 in
+  for _ = 1 to 20 do
+    let nodes = 3 + Util.Rng.int rng 5 in
+    let facts =
+      List.init
+        (3 + Util.Rng.int rng 12)
+        (fun _ ->
+          D.Fact.of_strings "edge"
+            [ Printf.sprintf "g%d" (Util.Rng.int rng nodes);
+              Printf.sprintf "g%d" (Util.Rng.int rng nodes) ])
+    in
+    let db = D.Database.of_list facts in
+    let src = Printf.sprintf "g%d" (Util.Rng.int rng nodes) in
+    check_equiv tc_program (D.Symbol.intern "tc") (goal_atom "tc" [ src; "Y" ]) db
+  done
+
+let test_rejects_edb_goal () =
+  match D.Magic.transform tc_program (goal_atom "edge" [ "a"; "Y" ]) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "edb goal must be rejected"
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "magic",
+    [
+      tc "tc bound-first" `Quick test_tc_bound_first;
+      tc "tc both bound" `Quick test_tc_both_bound;
+      tc "tc all free" `Quick test_tc_all_free;
+      tc "magic restricts derivations" `Quick test_magic_restricts_derivations;
+      tc "non-linear (same generation)" `Quick test_nonlinear_magic;
+      tc "random graphs vs full" `Quick test_random_graphs_vs_full;
+      tc "rejects edb goal" `Quick test_rejects_edb_goal;
+    ] )

@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "whyprov"
+    [
+      Test_util.suite;
+      Test_sat.suite;
+      Test_drat.suite;
+      Test_datalog.suite;
+      Test_magic.suite;
+      Test_provenance.suite;
+      Test_reductions.suite;
+      Test_workloads.suite;
+      Test_explain.suite;
+      Test_properties.suite;
+      Test_semiring.suite;
+      Test_cardinality.suite;
+      Test_fo_variants.suite;
+      Test_witness.suite;
+      Test_trace.suite;
+      Test_circuit.suite;
+    ]

@@ -1,0 +1,323 @@
+(* Tests for the NP-hardness reductions (Lemmas 17 and 24) and the FO
+   rewriting for non-recursive queries (Theorem 9 / Lemma 12), validated
+   against independent oracles: the CDCL solver for 3SAT, brute-force
+   search for Hamiltonian cycles, and the materialization engine for the
+   rewriting. *)
+
+module D = Datalog
+module P = Provenance
+
+(* --- 3SAT → Why-Provenance[LDat] --------------------------------------- *)
+
+let cnf_satisfiable ~nvars cnf =
+  let clauses =
+    List.map (List.map (fun l -> Sat.Lit.of_int l)) cnf
+  in
+  Sat.Reference.brute_force ~nvars clauses <> None
+
+let test_sat_program_shape () =
+  let instance = P.Reductions.of_3sat ~nvars:2 [ [ 1; 2; -1 ] ] in
+  Alcotest.(check bool) "linear" true (D.Program.is_linear instance.P.Reductions.program);
+  Alcotest.(check bool) "recursive" true
+    (D.Program.is_recursive instance.P.Reductions.program);
+  Alcotest.(check int) "8 rules" 8
+    (List.length (D.Program.rules instance.P.Reductions.program))
+
+let test_3sat_reduction_known () =
+  (* (x ∨ y ∨ z) satisfiable. *)
+  let sat_instance = P.Reductions.of_3sat ~nvars:3 [ [ 1; 2; 3 ] ] in
+  Alcotest.(check bool) "sat formula accepted" true
+    (P.Membership.why sat_instance.P.Reductions.program
+       sat_instance.P.Reductions.database sat_instance.P.Reductions.goal
+       sat_instance.P.Reductions.candidate);
+  (* (x) ∧ (¬x) unsatisfiable — as 3-literal clauses (x∨x∨x)∧(¬x∨¬x∨¬x). *)
+  let unsat_instance = P.Reductions.of_3sat ~nvars:1 [ [ 1; 1; 1 ]; [ -1; -1; -1 ] ] in
+  Alcotest.(check bool) "unsat formula rejected" false
+    (P.Membership.why unsat_instance.P.Reductions.program
+       unsat_instance.P.Reductions.database unsat_instance.P.Reductions.goal
+       unsat_instance.P.Reductions.candidate)
+
+let test_3sat_reduction_random () =
+  let rng = Util.Rng.create 31415 in
+  for _ = 1 to 40 do
+    let nvars = 1 + Util.Rng.int rng 4 in
+    let nclauses = 1 + Util.Rng.int rng 5 in
+    let cnf =
+      List.init nclauses (fun _ ->
+          List.init 3 (fun _ ->
+              let v = 1 + Util.Rng.int rng nvars in
+              if Util.Rng.bool rng then v else -v))
+    in
+    let expected = cnf_satisfiable ~nvars cnf in
+    let instance = P.Reductions.of_3sat ~nvars cnf in
+    let got =
+      P.Membership.why instance.P.Reductions.program instance.P.Reductions.database
+        instance.P.Reductions.goal instance.P.Reductions.candidate
+    in
+    if expected <> got then
+      Alcotest.failf "3SAT reduction disagrees on %s (expected %b)"
+        (String.concat " ∧ "
+           (List.map
+              (fun clause ->
+                "(" ^ String.concat "∨" (List.map string_of_int clause) ^ ")")
+              cnf))
+        expected
+  done
+
+let test_3sat_md_program_shape () =
+  let instance = P.Reductions.of_3sat_md ~nvars:2 [ [ 1; 2; -1 ] ] in
+  Alcotest.(check bool) "linear" true (D.Program.is_linear instance.P.Reductions.program);
+  Alcotest.(check bool) "recursive" true
+    (D.Program.is_recursive instance.P.Reductions.program);
+  Alcotest.(check int) "10 rules" 10
+    (List.length (D.Program.rules instance.P.Reductions.program))
+
+let test_3sat_md_uniform_depth () =
+  (* Lemma 35: every proof tree of r(v1) has depth n(m+2)+1. *)
+  let nvars = 2 and cnf = [ [ 1; -2; 1 ] ] in
+  let instance = P.Reductions.of_3sat_md ~nvars cnf in
+  let p = instance.P.Reductions.program and db = instance.P.Reductions.database in
+  let goal = instance.P.Reductions.goal in
+  let expected_depth = (nvars * (List.length cnf + 2)) + 1 in
+  (match P.Naive.min_depth p db goal with
+  | Some d -> Alcotest.(check int) "min depth" expected_depth d
+  | None -> Alcotest.fail "derivable");
+  let trees = P.Naive.trees_up_to_depth p db goal ~depth:(expected_depth + 3) in
+  Alcotest.(check bool) "has trees" true (trees <> []);
+  List.iter
+    (fun tree ->
+      Alcotest.(check int) "uniform depth" expected_depth (P.Proof_tree.depth tree))
+    trees
+
+let test_3sat_md_reduction () =
+  (* Satisfiable and unsatisfiable instances against why_MD membership. *)
+  let decide ~nvars cnf =
+    let instance = P.Reductions.of_3sat_md ~nvars cnf in
+    P.Membership.why_md instance.P.Reductions.program instance.P.Reductions.database
+      instance.P.Reductions.goal instance.P.Reductions.candidate
+  in
+  Alcotest.(check bool) "sat accepted" true (decide ~nvars:2 [ [ 1; 2; -1 ] ]);
+  Alcotest.(check bool) "sat accepted 2" true
+    (decide ~nvars:2 [ [ 1; 1; 1 ]; [ -2; -2; -2 ] ]);
+  Alcotest.(check bool) "unsat rejected" false
+    (decide ~nvars:1 [ [ 1; 1; 1 ]; [ -1; -1; -1 ] ]);
+  (* Cross-check a few random tiny formulas against the SAT oracle. *)
+  let rng = Util.Rng.create 653 in
+  for _ = 1 to 6 do
+    let nvars = 1 + Util.Rng.int rng 2 in
+    let nclauses = 1 + Util.Rng.int rng 2 in
+    let cnf =
+      List.init nclauses (fun _ ->
+          List.init 3 (fun _ ->
+              let v = 1 + Util.Rng.int rng nvars in
+              if Util.Rng.bool rng then v else -v))
+    in
+    let expected = cnf_satisfiable ~nvars cnf in
+    if decide ~nvars cnf <> expected then
+      Alcotest.failf "MD reduction disagrees (expected %b) on %s" expected
+        (String.concat " "
+           (List.map
+              (fun c -> "(" ^ String.concat "," (List.map string_of_int c) ^ ")")
+              cnf))
+  done
+
+(* --- Hamiltonian cycle → Why-Provenance_NR[LDat] ----------------------- *)
+
+let test_ham_program_shape () =
+  let instance = P.Reductions.of_ham_cycle ~nodes:3 [ (0, 1); (1, 2); (2, 0) ] in
+  Alcotest.(check bool) "linear" true (D.Program.is_linear instance.P.Reductions.program);
+  Alcotest.(check int) "4 rules" 4
+    (List.length (D.Program.rules instance.P.Reductions.program))
+
+let test_ham_cycle_known () =
+  (* Triangle has a Hamiltonian cycle. *)
+  let tri = P.Reductions.of_ham_cycle ~nodes:3 [ (0, 1); (1, 2); (2, 0) ] in
+  Alcotest.(check bool) "triangle" true
+    (P.Membership.why_nr tri.P.Reductions.program tri.P.Reductions.database
+       tri.P.Reductions.goal tri.P.Reductions.candidate);
+  (* A path does not. *)
+  let path = P.Reductions.of_ham_cycle ~nodes:3 [ (0, 1); (1, 2) ] in
+  Alcotest.(check bool) "path" false
+    (P.Membership.why_nr path.P.Reductions.program path.P.Reductions.database
+       path.P.Reductions.goal path.P.Reductions.candidate)
+
+let random_digraph rng nodes =
+  let edges = ref [] in
+  for u = 0 to nodes - 1 do
+    for v = 0 to nodes - 1 do
+      if u <> v && Util.Rng.float rng 1.0 < 0.4 then edges := (u, v) :: !edges
+    done
+  done;
+  !edges
+
+let test_ham_cycle_random_nr () =
+  let rng = Util.Rng.create 27182 in
+  for _ = 1 to 25 do
+    let nodes = 2 + Util.Rng.int rng 3 in
+    let edges = random_digraph rng nodes in
+    let expected = P.Reductions.ham_cycle_brute_force ~nodes edges in
+    let instance = P.Reductions.of_ham_cycle ~nodes edges in
+    let got =
+      P.Membership.why_nr instance.P.Reductions.program instance.P.Reductions.database
+        instance.P.Reductions.goal instance.P.Reductions.candidate
+    in
+    if expected <> got then
+      Alcotest.failf "Ham-cycle reduction disagrees on %d nodes %s (expected %b)"
+        nodes
+        (String.concat ","
+           (List.map (fun (u, v) -> Printf.sprintf "%d->%d" u v) edges))
+        expected
+  done
+
+let test_ham_cycle_random_via_sat () =
+  (* The query is linear, so why_NR = why_UN and the SAT pipeline decides
+     the same membership — this exercises the full Section 5 machinery on
+     NP-hard instances. *)
+  let rng = Util.Rng.create 16180 in
+  for _ = 1 to 25 do
+    let nodes = 2 + Util.Rng.int rng 4 in
+    let edges = random_digraph rng nodes in
+    let expected = P.Reductions.ham_cycle_brute_force ~nodes edges in
+    let instance = P.Reductions.of_ham_cycle ~nodes edges in
+    let got =
+      P.Membership.why_un instance.P.Reductions.program instance.P.Reductions.database
+        instance.P.Reductions.goal instance.P.Reductions.candidate
+    in
+    if expected <> got then
+      Alcotest.failf "Ham-cycle via SAT disagrees on %d nodes (expected %b)" nodes
+        expected
+  done
+
+(* --- FO rewriting (non-recursive queries) ------------------------------ *)
+
+let parse_program src = fst (D.Parser.program_of_string src)
+
+let test_fo_rejects_recursive () =
+  let tc = parse_program {|
+    path(X,Y) :- edge(X,Y).
+    path(X,Z) :- path(X,Y), edge(Y,Z).
+  |} in
+  match P.Fo_rewrite.compile tc (D.Symbol.intern "path") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "recursive program must be rejected"
+
+let test_fo_single_atom () =
+  let program = parse_program "q(X) :- e(X,Y)." in
+  let rewriting = P.Fo_rewrite.compile program (D.Symbol.intern "q") in
+  (* Two classes: e(X,Y) with X≠Y and e(X,X). *)
+  Alcotest.(check int) "two classes" 2 (P.Fo_rewrite.cq_count rewriting);
+  let e a b = D.Fact.of_strings "e" [ a; b ] in
+  let member db tuple =
+    P.Fo_rewrite.member rewriting
+      (D.Fact.Set.of_list db)
+      (Array.of_list (List.map D.Symbol.intern tuple))
+  in
+  Alcotest.(check bool) "single edge in" true (member [ e "a" "b" ] [ "a" ]);
+  Alcotest.(check bool) "self loop in" true (member [ e "a" "a" ] [ "a" ]);
+  Alcotest.(check bool) "wrong tuple" false (member [ e "a" "b" ] [ "b" ]);
+  (* Two facts cannot both be used by a single-atom CQ. *)
+  Alcotest.(check bool) "two facts out" false
+    (member [ e "a" "b"; e "a" "c" ] [ "a" ])
+
+let nonrec_programs =
+  [
+    ("q(X) :- e(X,Y).", "q");
+    ("q(X,Z) :- e(X,Y), e(Y,Z).", "q");
+    ("p(X) :- e(X,Y), f(Y).\nq(X) :- p(X), g(X).", "q");
+    ("q(X) :- e(X,Y).\nq(X) :- f(X).", "q");
+    ("p(X,Y) :- e(X,Y).\nq(X) :- p(X,Y), p(Y,X).", "q");
+  ]
+
+let test_fo_vs_materialize_random () =
+  let rng = Util.Rng.create 1618 in
+  List.iter
+    (fun (src, answer) ->
+      let program = parse_program src in
+      let answer = D.Symbol.intern answer in
+      let rewriting = P.Fo_rewrite.compile program answer in
+      for _ = 1 to 12 do
+        (* Random small database over the program's edb schema. *)
+        let consts = [| "a"; "b"; "c" |] in
+        let facts =
+          List.concat_map
+            (fun pred ->
+              let arity = D.Program.arity program pred in
+              List.init (Util.Rng.int rng 4) (fun _ ->
+                  D.Fact.make pred
+                    (Array.init arity (fun _ ->
+                         D.Symbol.intern (Util.Rng.choose rng consts)))))
+            (D.Program.edb program)
+        in
+        let db = D.Database.of_list facts in
+        let all_facts = Array.of_list (D.Database.to_list db) in
+        let model = D.Eval.seminaive program db in
+        (* Collect every candidate answer tuple over the active domain. *)
+        let tuples = ref [] in
+        D.Database.iter_pred model answer (fun f -> tuples := D.Fact.args f :: !tuples);
+        (* Also one non-answer tuple. *)
+        tuples := [| D.Symbol.intern "zz1"; |] :: !tuples;
+        List.iter
+          (fun tuple ->
+            if Array.length tuple = D.Program.arity program answer then begin
+              let goal = D.Fact.make answer tuple in
+              (* Compare FO-membership with the oracle on random subsets. *)
+              for _ = 1 to 8 do
+                let candidate =
+                  Array.fold_left
+                    (fun acc f ->
+                      if Util.Rng.bool rng then D.Fact.Set.add f acc else acc)
+                    D.Fact.Set.empty all_facts
+                in
+                let expected = P.Membership.why program db goal candidate in
+                let got = P.Fo_rewrite.member rewriting candidate tuple in
+                if expected <> got then
+                  Alcotest.failf "FO rewriting disagrees on %s / %s (expected %b)"
+                    (D.Fact.to_string goal)
+                    (Format.asprintf "%a" D.Fact.pp_set candidate)
+                    expected
+              done
+            end)
+          !tuples
+      done)
+    nonrec_programs
+
+let test_fo_full_family () =
+  (* The FO rewriting accepts exactly the members of why(t̄,D,Q). *)
+  let program = parse_program "p(X) :- e(X,Y), f(Y).\nq(X) :- p(X), g(X)." in
+  let answer = D.Symbol.intern "q" in
+  let rewriting = P.Fo_rewrite.compile program answer in
+  let facts =
+    List.map
+      (fun (p, args) -> D.Fact.of_strings p args)
+      [ ("e", [ "a"; "b" ]); ("e", [ "a"; "a" ]); ("f", [ "b" ]); ("f", [ "a" ]);
+        ("g", [ "a" ]) ]
+  in
+  let db = D.Database.of_list facts in
+  let goal = D.Fact.of_strings "q" [ "a" ] in
+  let family = P.Materialize.why program db goal in
+  Alcotest.(check bool) "family non-empty" true (family <> []);
+  List.iter
+    (fun member ->
+      Alcotest.(check bool) "member accepted" true
+        (P.Fo_rewrite.member rewriting member [| D.Symbol.intern "a" |]))
+    family
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "reductions",
+    [
+      tc "3sat program shape" `Quick test_sat_program_shape;
+      tc "3sat known cases" `Quick test_3sat_reduction_known;
+      tc "3sat random vs oracle" `Quick test_3sat_reduction_random;
+      tc "3sat-md program shape" `Quick test_3sat_md_program_shape;
+      tc "3sat-md uniform depth" `Quick test_3sat_md_uniform_depth;
+      tc "3sat-md reduction" `Quick test_3sat_md_reduction;
+      tc "ham program shape" `Quick test_ham_program_shape;
+      tc "ham known cases" `Quick test_ham_cycle_known;
+      tc "ham random vs oracle (nr)" `Quick test_ham_cycle_random_nr;
+      tc "ham random via sat (un)" `Quick test_ham_cycle_random_via_sat;
+      tc "fo rejects recursion" `Quick test_fo_rejects_recursive;
+      tc "fo single atom" `Quick test_fo_single_atom;
+      tc "fo vs materialize" `Quick test_fo_vs_materialize_random;
+      tc "fo full family" `Quick test_fo_full_family;
+    ] )

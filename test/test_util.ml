@@ -1,0 +1,133 @@
+(* Tests for the util substrate: vectors, RNG, solver heap. *)
+
+let test_vec_push_pop () =
+  let v = Util.Vec.create () in
+  Alcotest.(check bool) "empty" true (Util.Vec.is_empty v);
+  for i = 0 to 99 do Util.Vec.push v i done;
+  Alcotest.(check int) "length" 100 (Util.Vec.length v);
+  Alcotest.(check int) "get" 42 (Util.Vec.get v 42);
+  Alcotest.(check int) "last" 99 (Util.Vec.last v);
+  Alcotest.(check int) "pop" 99 (Util.Vec.pop v);
+  Alcotest.(check int) "length after pop" 99 (Util.Vec.length v);
+  Util.Vec.shrink v 10;
+  Alcotest.(check (list int)) "shrink" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (Util.Vec.to_list v)
+
+let test_vec_bounds () =
+  let v = Util.Vec.of_list [ 1; 2; 3 ] in
+  (match Util.Vec.get v 3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out of bounds get must raise");
+  (match Util.Vec.set v (-1) 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative set must raise");
+  match Util.Vec.pop (Util.Vec.create ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "pop of empty must raise"
+
+let test_vec_filter_sort () =
+  let v = Util.Vec.of_list [ 5; 3; 8; 1; 9; 2 ] in
+  Util.Vec.filter_in_place (fun x -> x mod 2 = 1) v;
+  Alcotest.(check (list int)) "filter keeps order" [ 5; 3; 1; 9 ] (Util.Vec.to_list v);
+  Util.Vec.sort Int.compare v;
+  Alcotest.(check (list int)) "sorted" [ 1; 3; 5; 9 ] (Util.Vec.to_list v);
+  Alcotest.(check bool) "exists" true (Util.Vec.exists (fun x -> x = 5) v);
+  Alcotest.(check int) "fold" 18 (Util.Vec.fold_left ( + ) 0 v)
+
+let test_vec_copy_independent () =
+  let v = Util.Vec.of_list [ 1; 2 ] in
+  let w = Util.Vec.copy v in
+  Util.Vec.push w 3;
+  Alcotest.(check int) "original unchanged" 2 (Util.Vec.length v);
+  Alcotest.(check int) "copy grew" 3 (Util.Vec.length w)
+
+let test_rng_determinism () =
+  let r1 = Util.Rng.create 7 and r2 = Util.Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Util.Rng.int r1 1000) (Util.Rng.int r2 1000)
+  done
+
+let test_rng_bounds () =
+  let rng = Util.Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Util.Rng.int rng 10 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 10);
+    let y = Util.Rng.int_in rng 5 8 in
+    Alcotest.(check bool) "int_in" true (y >= 5 && y <= 8);
+    let f = Util.Rng.float rng 2.0 in
+    Alcotest.(check bool) "float" true (f >= 0.0 && f < 2.0)
+  done
+
+let test_rng_distribution () =
+  (* Rough uniformity: all of [0,8) hit over 4000 draws. *)
+  let rng = Util.Rng.create 11 in
+  let counts = Array.make 8 0 in
+  for _ = 1 to 4000 do
+    let x = Util.Rng.int rng 8 in
+    counts.(x) <- counts.(x) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if c < 300 then Alcotest.failf "bucket %d underfilled: %d" i c)
+    counts
+
+let test_rng_sample () =
+  let rng = Util.Rng.create 23 in
+  let a = Array.init 20 (fun i -> i) in
+  let s = Util.Rng.sample rng 5 a in
+  Alcotest.(check int) "sample size" 5 (Array.length s);
+  let sorted = Array.copy s in
+  Array.sort Int.compare sorted;
+  Alcotest.(check bool) "distinct" true
+    (Array.length (Array.of_list (List.sort_uniq Int.compare (Array.to_list s))) = 5);
+  let s2 = Util.Rng.sample rng 50 a in
+  Alcotest.(check int) "capped at length" 20 (Array.length s2)
+
+let test_heap_order () =
+  let scores = Array.make 50 0.0 in
+  let h = Sat.Heap.create ~score:(fun v -> scores.(v)) in
+  let rng = Util.Rng.create 9 in
+  for v = 0 to 49 do
+    scores.(v) <- Util.Rng.float rng 100.0;
+    Sat.Heap.insert h v
+  done;
+  Alcotest.(check int) "size" 50 (Sat.Heap.size h);
+  let rec drain last acc =
+    match Sat.Heap.remove_max h with
+    | None -> acc
+    | Some v ->
+      Alcotest.(check bool) "non-increasing" true (scores.(v) <= last);
+      drain scores.(v) (acc + 1)
+  in
+  Alcotest.(check int) "drained all" 50 (drain infinity 0)
+
+let test_heap_decrease () =
+  let scores = Array.make 10 0.0 in
+  let h = Sat.Heap.create ~score:(fun v -> scores.(v)) in
+  for v = 0 to 9 do
+    scores.(v) <- float_of_int v;
+    Sat.Heap.insert h v
+  done;
+  (* Bump variable 0 to the top. *)
+  scores.(0) <- 100.0;
+  Sat.Heap.decrease h 0;
+  Alcotest.(check (option int)) "bumped to top" (Some 0) (Sat.Heap.remove_max h);
+  Alcotest.(check (option int)) "next is 9" (Some 9) (Sat.Heap.remove_max h);
+  Alcotest.(check bool) "membership" true (Sat.Heap.in_heap h 5);
+  Alcotest.(check bool) "removed" false (Sat.Heap.in_heap h 9)
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "util",
+    [
+      tc "vec push/pop" `Quick test_vec_push_pop;
+      tc "vec bounds" `Quick test_vec_bounds;
+      tc "vec filter/sort" `Quick test_vec_filter_sort;
+      tc "vec copy" `Quick test_vec_copy_independent;
+      tc "rng determinism" `Quick test_rng_determinism;
+      tc "rng bounds" `Quick test_rng_bounds;
+      tc "rng distribution" `Quick test_rng_distribution;
+      tc "rng sample" `Quick test_rng_sample;
+      tc "heap order" `Quick test_heap_order;
+      tc "heap decrease" `Quick test_heap_decrease;
+    ] )

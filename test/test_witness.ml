@@ -1,0 +1,99 @@
+(* Tests for witness reconstruction: each enumerated member comes with a
+   valid compressed proof DAG whose unravelling is an unambiguous proof
+   tree with exactly that support. *)
+
+module D = Datalog
+module P = Provenance
+
+let parse_program src = fst (D.Parser.program_of_string src)
+
+let acc_program = parse_program {|
+  a(X) :- s(X).
+  a(X) :- a(Y), a(Z), t(Y,Z,X).
+|}
+
+let check_witnesses program db goal =
+  let e = P.Enumerate.create program db goal in
+  let rec loop n =
+    match P.Enumerate.next_with_witness e with
+    | None -> n
+    | Some (member, dag) ->
+      (match P.Proof_dag.check program db dag with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "invalid witness DAG: %s" msg);
+      Alcotest.(check bool) "compressed" true (P.Proof_dag.is_compressed dag);
+      Alcotest.(check bool) "dag root" true
+        (D.Fact.equal (P.Proof_dag.fact dag) goal);
+      Alcotest.(check bool) "dag support = member" true
+        (D.Fact.Set.equal (P.Proof_dag.support dag) member);
+      let tree = P.Proof_dag.unravel dag in
+      Alcotest.(check bool) "tree unambiguous" true
+        (P.Proof_tree.is_unambiguous tree);
+      Alcotest.(check bool) "tree support = member" true
+        (D.Fact.Set.equal (P.Proof_tree.support tree) member);
+      (match P.Proof_tree.check program db tree with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "invalid witness tree: %s" msg);
+      loop (n + 1)
+  in
+  loop 0
+
+let test_example_databases () =
+  let db1 =
+    D.Database.of_list
+      (List.map
+         (fun (p, args) -> D.Fact.of_strings p args)
+         [ ("s", [ "a" ]); ("t", [ "a"; "a"; "b" ]); ("t", [ "a"; "a"; "c" ]);
+           ("t", [ "a"; "a"; "d" ]); ("t", [ "b"; "c"; "a" ]) ])
+  in
+  let n = check_witnesses acc_program db1 (D.Fact.of_strings "a" [ "d" ]) in
+  Alcotest.(check int) "example 1 member count" 1 n;
+  let db4 =
+    D.Database.of_list
+      (List.map
+         (fun (p, args) -> D.Fact.of_strings p args)
+         [ ("s", [ "a" ]); ("s", [ "b" ]); ("t", [ "a"; "a"; "c" ]);
+           ("t", [ "b"; "b"; "c" ]); ("t", [ "c"; "c"; "d" ]) ])
+  in
+  let n = check_witnesses acc_program db4 (D.Fact.of_strings "a" [ "d" ]) in
+  Alcotest.(check int) "example 4 member count" 2 n
+
+let test_random_witnesses () =
+  let rng = Util.Rng.create 81 in
+  for _ = 1 to 20 do
+    let consts = [| "a"; "b"; "c"; "d" |] in
+    let facts =
+      D.Fact.of_strings "s" [ "a" ]
+      :: List.init (2 + Util.Rng.int rng 4) (fun _ ->
+             D.Fact.of_strings "t"
+               [ Util.Rng.choose rng consts; Util.Rng.choose rng consts;
+                 Util.Rng.choose rng consts ])
+    in
+    let db = D.Database.of_list facts in
+    let model = D.Eval.seminaive acc_program db in
+    D.Database.iter_pred model (D.Symbol.intern "a") (fun goal ->
+        ignore (check_witnesses acc_program db goal))
+  done
+
+let test_witness_on_workload () =
+  (* Non-linear workload program: Andersen at tiny scale. *)
+  let scenario = Workloads.Andersen.scenario () in
+  let db = Workloads.Andersen.statements ~seed:5 ~vars:60 () in
+  let program = scenario.Workloads.Scenario.program in
+  let answers = Workloads.Scenario.pick_answers ~seed:2 scenario db 3 in
+  List.iter
+    (fun goal ->
+      let n = check_witnesses program db goal in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s has witnesses" (D.Fact.to_string goal))
+        true (n > 0))
+    answers
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "witness",
+    [
+      tc "paper examples" `Quick test_example_databases;
+      tc "random instances" `Quick test_random_witnesses;
+      tc "workload instance" `Quick test_witness_on_workload;
+    ] )
