@@ -5,6 +5,7 @@
 module D = Datalog
 module P = Provenance
 module W = Workloads
+module Metrics = Util.Metrics
 
 let time f =
   let t0 = Unix.gettimeofday () in
@@ -21,6 +22,7 @@ type config = {
   mutable conflict_budget : int; (* solver budget per member *)
   mutable max_fill : int;      (* vertex-elimination fill cap (paper: OOM) *)
   mutable seed : int;
+  mutable stats_out : string option; (* JSONL sink, e.g. BENCH_fig1.json *)
 }
 
 let config =
@@ -32,7 +34,42 @@ let config =
     conflict_budget = 400_000;
     max_fill = 400_000;
     seed = 20240614;
+    stats_out = None;
   }
+
+(* --- Stats rows (--stats-out) ------------------------------------------ *)
+
+(* With --stats-out FILE every measured pipeline stage appends one JSON
+   row to FILE: {"kind"; "goal"; stage fields...; "metrics": <snapshot>}.
+   The metrics registry is reset at the start of each measurement, so a
+   row's "metrics" object is that stage's own activity — the schema of
+   the snapshot is the one documented in docs/OBSERVABILITY.md. *)
+
+let stats_channel = ref None
+
+let emit_stats_row kind fields =
+  match config.stats_out with
+  | None -> ()
+  | Some path ->
+    let oc =
+      match !stats_channel with
+      | Some oc -> oc
+      | None ->
+        let oc = open_out path in
+        stats_channel := Some oc;
+        at_exit (fun () -> close_out oc);
+        oc
+    in
+    let row =
+      Metrics.Json.Obj
+        ((("kind", Metrics.Json.Str kind) :: fields)
+        @ [ ("metrics", Metrics.snapshot_to_json ()) ])
+    in
+    output_string oc (Metrics.Json.to_string row);
+    output_char oc '\n';
+    flush oc
+
+let stats_begin () = if config.stats_out <> None then Metrics.reset ()
 
 (* --- Scenario registry ------------------------------------------------- *)
 
@@ -129,6 +166,22 @@ type enum_measurement = {
    (the model materialization is reported separately, as DLV's
    evaluation was in the paper's setup). *)
 let measure_build program model db goal =
+  stats_begin ();
+  let emit_row (m : build_measurement) =
+    emit_stats_row "build"
+      Metrics.Json.
+        [
+          ("goal", Str (D.Fact.to_string m.goal));
+          ("closure_s", Num m.closure_time);
+          ("encode_s", Num m.encode_time);
+          ("closure_nodes", Num (float_of_int m.closure_nodes));
+          ("closure_hyperedges", Num (float_of_int m.closure_hyperedges));
+          ("formula_vars", Num (float_of_int m.formula_vars));
+          ("formula_clauses", Num (float_of_int m.formula_clauses));
+          ("elim_width", Num (float_of_int m.elim_width));
+          ("too_large", Bool m.too_large);
+        ]
+  in
   let closure, closure_time =
     time (fun () -> P.Closure.build_with_model program ~model db goal)
   in
@@ -139,7 +192,7 @@ let measure_build program model db goal =
   with
   | Some encoding, encode_time ->
     let st = P.Encode.stats encoding in
-    ( Some (closure, encoding),
+    let m =
       {
         goal;
         closure_time;
@@ -150,9 +203,12 @@ let measure_build program model db goal =
         formula_clauses = st.P.Encode.clauses;
         elim_width = st.P.Encode.elimination_width;
         too_large = false;
-      } )
+      }
+    in
+    emit_row m;
+    (Some (closure, encoding), m)
   | None, encode_time ->
-    ( None,
+    let m =
       {
         goal;
         closure_time;
@@ -163,9 +219,13 @@ let measure_build program model db goal =
         formula_clauses = 0;
         elim_width = 0;
         too_large = true;
-      } )
+      }
+    in
+    emit_row m;
+    (None, m)
 
 let measure_enumeration ?(limit = config.member_limit) closure encoding =
+  stats_begin ();
   let enumeration = P.Enumerate.of_parts closure encoding in
   let deadline = Unix.gettimeofday () +. config.tuple_timeout in
   let delays = ref [] in
@@ -188,12 +248,23 @@ let measure_enumeration ?(limit = config.member_limit) closure encoding =
        end
      done
    with Exit -> ());
-  {
-    members = List.length !delays;
-    delays = List.rev !delays;
-    status = !status;
-    total_time = Unix.gettimeofday () -. start;
-  }
+  let m =
+    {
+      members = List.length !delays;
+      delays = List.rev !delays;
+      status = !status;
+      total_time = Unix.gettimeofday () -. start;
+    }
+  in
+  emit_stats_row "enumerate"
+    Metrics.Json.
+      [
+        ("goal", Str (D.Fact.to_string (P.Closure.root closure)));
+        ("members", Num (float_of_int m.members));
+        ("status", Str (status_str m.status));
+        ("total_s", Num m.total_time);
+      ];
+  m
 
 (* --- Output ------------------------------------------------------------- *)
 

@@ -13,7 +13,8 @@
 let usage () =
   print_endline
     "usage: main.exe [--scale F] [--tuples N] [--limit N] [--timeout S] \
-     [--budget N] [--seed N] [table1|fig1|fig2|fig3|fig4|fig5|hardness|ablation|combined|micro|all]...";
+     [--budget N] [--seed N] [--stats-out FILE.json] \
+     [table1|fig1|fig2|fig3|fig4|fig5|hardness|ablation|combined|micro|all]...";
   exit 1
 
 let () =
@@ -38,6 +39,12 @@ let () =
       parse rest
     | "--seed" :: v :: rest ->
       Harness.config.Harness.seed <- int_of_string v;
+      parse rest
+    | "--stats-out" :: v :: rest ->
+      (* Per-stage stats rows (docs/OBSERVABILITY.md): one JSON line per
+         measured closure/encode/enumeration, e.g. BENCH_fig1.json. *)
+      Harness.config.Harness.stats_out <- Some v;
+      Util.Metrics.set_enabled true;
       parse rest
     | ("--help" | "-h") :: _ -> usage ()
     | name :: rest ->

@@ -89,6 +89,18 @@ let tests () =
               (P.Membership.why_un instance.P.Reductions.program
                  instance.P.Reductions.database instance.P.Reductions.goal
                  instance.P.Reductions.candidate)));
+    (* Observability kernels: the same semi-naive evaluation with the
+       metrics registry off (the default) and on, so the overhead of
+       the instrumented hot loops stays visible; the satellite budget
+       for this PR is < 2% on the "on" variant. *)
+    Test.make ~name:"metrics:seminaive-off"
+      (Staged.stage (fun () -> ignore (D.Eval.seminaive program db)));
+    Test.make ~name:"metrics:seminaive-on"
+      (Staged.stage (fun () ->
+           Util.Metrics.set_enabled true;
+           Fun.protect
+             ~finally:(fun () -> Util.Metrics.set_enabled false)
+             (fun () -> ignore (D.Eval.seminaive program db))));
     (* Ablation kernel: the two acyclicity encodings. *)
     Test.make ~name:"ablation:encode-ve"
       (Staged.stage (fun () ->

@@ -1,13 +1,35 @@
 (* satsolve — standalone DIMACS front end to the CDCL substrate.
 
-   Usage: satsolve FILE.cnf
+   Usage: satsolve [--stats[=json]] FILE.cnf
    Prints "s SATISFIABLE" with a "v ..." model line, or "s UNSATISFIABLE",
    in the conventional SAT-competition output format, plus solver
-   statistics on stderr. *)
+   statistics on stderr. With --stats the pipeline metrics registry
+   (docs/OBSERVABILITY.md) is enabled and its snapshot is printed on
+   stderr as well — human-readable by default, one JSON line with
+   --stats=json. *)
+
+let usage () =
+  prerr_endline "usage: satsolve [--stats[=json]] FILE.cnf";
+  exit 2
 
 let () =
-  match Sys.argv with
-  | [| _; path |] ->
+  let stats = ref None in
+  let paths =
+    List.filter
+      (fun arg ->
+        match arg with
+        | "--stats" | "--stats=human" ->
+          stats := Some `Human;
+          false
+        | "--stats=json" ->
+          stats := Some `Json;
+          false
+        | _ -> true)
+      (List.tl (Array.to_list Sys.argv))
+  in
+  match paths with
+  | [ path ] ->
+    if !stats <> None then Util.Metrics.set_enabled true;
     let ic = open_in_bin path in
     let n = in_channel_length ic in
     let src = really_input_string ic n in
@@ -17,12 +39,16 @@ let () =
     Sat.Solver.ensure_vars solver nvars;
     List.iter (Sat.Solver.add_clause solver) clauses;
     let result = Sat.Solver.solve solver in
-    let stats = Sat.Solver.stats solver in
+    let stats' = Sat.Solver.stats solver in
     Printf.eprintf
       "c conflicts=%d decisions=%d propagations=%d restarts=%d deleted=%d\n"
-      stats.Sat.Solver.conflicts stats.Sat.Solver.decisions
-      stats.Sat.Solver.propagations stats.Sat.Solver.restarts
-      stats.Sat.Solver.deleted_clauses;
+      stats'.Sat.Solver.conflicts stats'.Sat.Solver.decisions
+      stats'.Sat.Solver.propagations stats'.Sat.Solver.restarts
+      stats'.Sat.Solver.deleted_clauses;
+    (match !stats with
+    | Some `Json -> prerr_endline (Util.Metrics.to_json_string ())
+    | Some `Human -> prerr_string (Util.Metrics.to_string ())
+    | None -> ());
     (match result with
     | Sat.Solver.Sat ->
       print_endline "s SATISFIABLE";
@@ -41,6 +67,4 @@ let () =
     | Sat.Solver.Unsat ->
       print_endline "s UNSATISFIABLE";
       exit 20)
-  | _ ->
-    prerr_endline "usage: satsolve FILE.cnf";
-    exit 2
+  | _ -> usage ()

@@ -13,10 +13,41 @@
      whyprov check    FILE -q tc -t a,c -s 'edge(a,b). edge(b,c).' [--variant un]
      whyprov tree     FILE -q tc -t a,c [--dot]
      whyprov stats    FILE -q tc -t a,c
-*)
+
+   Every command additionally accepts --stats[=json] and
+   --stats-out FILE, which enable the pipeline-wide metrics registry
+   (see docs/OBSERVABILITY.md) and emit a snapshot when the process
+   exits. *)
 
 module D = Datalog
 module P = Provenance
+module Metrics = Util.Metrics
+
+(* Enable the metrics registry and register the snapshot emission for
+   process exit, so commands that terminate through [exit] (check) and
+   the repl all report. Human-readable output goes to stderr to keep
+   the command's stdout clean; JSON goes to stdout (one line, last)
+   and/or to --stats-out FILE. *)
+let setup_stats stats stats_out =
+  if stats <> None || stats_out <> None then begin
+    Metrics.set_enabled true;
+    at_exit (fun () ->
+        (match stats_out with
+        | Some path -> (
+          (* Running at exit: report a bad path instead of aborting the
+             process with an uncaught exception. *)
+          try
+            let oc = open_out path in
+            output_string oc (Metrics.to_json_string ());
+            output_char oc '\n';
+            close_out oc
+          with Sys_error msg -> Printf.eprintf "whyprov: --stats-out: %s\n" msg)
+        | None -> ());
+        match stats with
+        | Some `Json -> print_endline (Metrics.to_json_string ())
+        | Some `Human -> prerr_string (Metrics.to_string ())
+        | None -> ())
+  end
 
 let load_file path =
   let rules, facts = D.Parser.split (D.Parser.parse_file path) in
@@ -35,14 +66,14 @@ let parse_subset s =
 
 (* --- Commands --------------------------------------------------------- *)
 
-let cmd_answers path query_pred =
+let cmd_answers () path query_pred =
   let program, db = load_file path in
   let q = P.Explain.query program query_pred in
   let answers = P.Explain.answers q db in
   List.iter (fun f -> print_endline (D.Fact.to_string f)) answers;
   Printf.printf "%% %d answer(s)\n" (List.length answers)
 
-let cmd_explain path query_pred tuple limit use_tc smallest witness =
+let cmd_explain () path query_pred tuple limit use_tc smallest witness =
   let program, db = load_file path in
   let q = P.Explain.query program query_pred in
   let fact = P.Explain.goal q (parse_tuple tuple) in
@@ -76,7 +107,7 @@ let cmd_explain path query_pred tuple limit use_tc smallest witness =
     Format.printf "%a@." P.Explain.pp_explanation explanation
   end
 
-let cmd_check path query_pred tuple subset variant =
+let cmd_check () path query_pred tuple subset variant =
   let program, db = load_file path in
   let q = P.Explain.query program query_pred in
   let fact = P.Explain.goal q (parse_tuple tuple) in
@@ -93,7 +124,7 @@ let cmd_check path query_pred tuple subset variant =
   print_endline (if is_member then "MEMBER" else "NOT A MEMBER");
   exit (if is_member then 0 else 1)
 
-let cmd_tree path query_pred tuple dot =
+let cmd_tree () path query_pred tuple dot =
   let program, db = load_file path in
   let q = P.Explain.query program query_pred in
   let fact = P.Explain.goal q (parse_tuple tuple) in
@@ -105,7 +136,7 @@ let cmd_tree path query_pred tuple dot =
     if dot then print_string (P.Proof_tree.to_dot tree)
     else Format.printf "%a@." P.Proof_tree.pp tree
 
-let cmd_stats path query_pred tuple =
+let cmd_stats () path query_pred tuple =
   let program, db = load_file path in
   let q = P.Explain.query program query_pred in
   let fact = P.Explain.goal q (parse_tuple tuple) in
@@ -119,7 +150,7 @@ let cmd_stats path query_pred tuple =
     st.P.Encode.elimination_width st.P.Encode.fill_edges;
   Printf.printf "query class: %s\n" (D.Program.query_class program)
 
-let cmd_repl path =
+let cmd_repl () path =
   let program, db = load_file path in
   Format.printf "whyprov repl — %d rules, %d facts. Type 'help' for commands.@."
     (List.length (D.Program.rules program))
@@ -255,29 +286,51 @@ let variant_arg =
 
 let dot_arg = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz.")
 
+let stats_arg =
+  let fmt = Arg.enum [ ("human", `Human); ("json", `Json) ] in
+  Arg.(
+    value
+    & opt ~vopt:(Some `Human) (some fmt) None
+    & info [ "stats" ] ~docv:"FORMAT"
+        ~doc:
+          "Record pipeline metrics (docs/OBSERVABILITY.md) and print a \
+           snapshot on exit: $(b,--stats) prints the human-readable listing \
+           to stderr, $(b,--stats=json) a one-line JSON snapshot to stdout.")
+
+let stats_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-out" ] ~docv:"FILE"
+        ~doc:
+          "Record pipeline metrics and write the JSON snapshot to $(docv) on \
+           exit (implies metrics recording; combines with $(b,--stats)).")
+
+let stats_term = Term.(const setup_stats $ stats_arg $ stats_out_arg)
+
 let answers_cmd =
   Cmd.v (Cmd.info "answers" ~doc:"Evaluate the query and print all answers")
-    Term.(const cmd_answers $ file_arg $ query_arg)
+    Term.(const cmd_answers $ stats_term $ file_arg $ query_arg)
 
 let explain_cmd =
   Cmd.v (Cmd.info "explain" ~doc:"Enumerate the why-provenance (unambiguous proof trees) of an answer")
-    Term.(const cmd_explain $ file_arg $ query_arg $ tuple_arg $ limit_arg $ tc_arg $ smallest_arg $ witness_arg)
+    Term.(const cmd_explain $ stats_term $ file_arg $ query_arg $ tuple_arg $ limit_arg $ tc_arg $ smallest_arg $ witness_arg)
 
 let check_cmd =
   Cmd.v (Cmd.info "check" ~doc:"Decide membership of a subset in the why-provenance")
-    Term.(const cmd_check $ file_arg $ query_arg $ tuple_arg $ subset_arg $ variant_arg)
+    Term.(const cmd_check $ stats_term $ file_arg $ query_arg $ tuple_arg $ subset_arg $ variant_arg)
 
 let tree_cmd =
   Cmd.v (Cmd.info "tree" ~doc:"Print one (minimal-depth) proof tree of an answer")
-    Term.(const cmd_tree $ file_arg $ query_arg $ tuple_arg $ dot_arg)
+    Term.(const cmd_tree $ stats_term $ file_arg $ query_arg $ tuple_arg $ dot_arg)
 
 let repl_cmd =
   Cmd.v (Cmd.info "repl" ~doc:"Interactive query/explain loop over a program file")
-    Term.(const cmd_repl $ file_arg)
+    Term.(const cmd_repl $ stats_term $ file_arg)
 
 let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc:"Print downward-closure and formula statistics")
-    Term.(const cmd_stats $ file_arg $ query_arg $ tuple_arg)
+    Term.(const cmd_stats $ stats_term $ file_arg $ query_arg $ tuple_arg)
 
 let () =
   let doc = "why-provenance for Datalog queries (PODS 2024 reproduction)" in

@@ -1,0 +1,34 @@
+#!/bin/sh
+# Developer pre-push check: build, tests, and an observability smoke
+# run — a full whyprov pipeline invocation with --stats=json whose
+# output must parse as JSON and cover every pipeline layer
+# (docs/OBSERVABILITY.md). Exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== dune build"
+dune build
+
+echo "== dune runtest"
+dune runtest
+
+echo "== stats smoke (whyprov --stats=json on examples/reach.dl)"
+out=$(mktemp -t whyprov-stats.XXXXXX)
+trap 'rm -f "$out"' EXIT
+dune exec --no-build bin/whyprov.exe -- \
+  explain examples/reach.dl -q tc -t a,c --stats-out "$out" > /dev/null
+
+# validate_stats parses the dump (with the same JSON parser the
+# library uses), checks the schema version, and requires at least one
+# counter from each of the eval/closure/encode/sat/enum layers.
+dune exec --no-build test/cli/validate_stats.exe -- "$out"
+
+# Independent parse with a system JSON parser, when one is available.
+if command -v jq > /dev/null 2>&1; then
+  jq -e '.schema == "whyprov.metrics/1"' "$out" > /dev/null
+elif command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool "$out" > /dev/null
+fi
+
+echo "dev-check: OK"

@@ -1,5 +1,16 @@
 open Datalog
 
+(* Observability (docs/OBSERVABILITY.md, "Downward closure"). All
+   counters are cumulative over every closure built in the process;
+   per-build figures remain available through [pp_stats]/accessors. *)
+module Metrics = Util.Metrics
+
+let m_build_time = Metrics.timer "closure.build"
+let m_builds = Metrics.counter "closure.builds"
+let m_nodes = Metrics.counter "closure.nodes"
+let m_rule_instances = Metrics.counter "closure.rule_instances"
+let m_db_facts = Metrics.counter "closure.db_facts"
+
 type hyperedge = {
   head : Fact.t;
   rule : Rule.t;
@@ -19,6 +30,8 @@ type t = {
 }
 
 let build_with_model program ~model db root_fact =
+  Metrics.time m_build_time @@ fun () ->
+  Metrics.incr m_builds;
   let edges_by_head : hyperedge list Fact.Table.t = Fact.Table.create 1024 in
   let visited : unit Fact.Table.t = Fact.Table.create 1024 in
   let queue = Queue.create () in
@@ -55,6 +68,9 @@ let build_with_model program ~model db root_fact =
     |> List.sort Fact.compare
   in
   let db_in_closure = List.filter (Database.mem db) node_list in
+  Metrics.add m_nodes (List.length node_list);
+  Metrics.add m_rule_instances !n_edges;
+  Metrics.add m_db_facts (List.length db_in_closure);
   {
     program;
     root = root_fact;

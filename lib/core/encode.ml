@@ -1,5 +1,27 @@
 open Datalog
 
+(* Observability (docs/OBSERVABILITY.md, "CNF encoder"). Clause counts
+   are split by the formula component (φ_graph / φ_root / φ_proof /
+   φ_acyclic) so that a --stats dump attributes encoding cost to the
+   part of the construction that produced it; counters tick as clauses
+   are emitted, so an encode aborted by [Too_large] still reports the
+   work it did. *)
+module Metrics = Util.Metrics
+
+let m_encode_time = Metrics.timer "encode.build"
+let m_encodes = Metrics.counter "encode.builds"
+let m_hyperedges = Metrics.counter "encode.hyperedges"
+let m_vars_node = Metrics.counter "encode.vars.node"
+let m_vars_edge = Metrics.counter "encode.vars.edge"
+let m_vars_hyperedge = Metrics.counter "encode.vars.hyperedge"
+let m_vars_acyclic = Metrics.counter "encode.vars.acyclic"
+let m_clauses_graph = Metrics.counter "encode.clauses.graph"
+let m_clauses_root = Metrics.counter "encode.clauses.root"
+let m_clauses_proof = Metrics.counter "encode.clauses.proof"
+let m_clauses_acyclic = Metrics.counter "encode.clauses.acyclic"
+let m_fill_edges = Metrics.counter "encode.fill_edges"
+let m_elim_width = Metrics.histogram "encode.elim_width"
+
 type acyclicity =
   | Transitive_closure
   | Vertex_elimination
@@ -36,13 +58,19 @@ type elimination_order =
 
 let make ?(acyclicity = Vertex_elimination) ?(elimination_order = Min_degree)
     ?(max_fill = max_int) ?(capture = false) closure =
+  Metrics.time m_encode_time @@ fun () ->
+  Metrics.incr m_encodes;
   let solver = Sat.Solver.create () in
   let nclauses = ref 0 in
   let captured = ref [] in
+  (* Which formula component clauses are currently charged to; the
+     sections below reassign it as they start. *)
+  let clause_group = ref m_clauses_graph in
   let add_clause lits =
     Sat.Solver.add_clause solver lits;
     if capture then captured := lits :: !captured;
-    incr nclauses
+    incr nclauses;
+    Metrics.incr !clause_group
   in
   let node_list = Closure.nodes closure in
   let n = List.length node_list in
@@ -122,8 +150,13 @@ let make ?(acyclicity = Vertex_elimination) ?(elimination_order = Min_degree)
       match Hashtbl.find_opt repr_of (head_id, target_ids) with
       | Some yv -> if not (Hashtbl.mem y_witness yv) then Hashtbl.add y_witness yv edge
       | None -> ());
+  Metrics.add m_hyperedges !n_hyper;
+  Metrics.add m_vars_node n;
+  Metrics.add m_vars_edge n_edges;
+  Metrics.add m_vars_hyperedge (List.length yvars);
   let open Sat.Lit in
   (* φ_graph: an edge forces both endpoints. *)
+  clause_group := m_clauses_graph;
   Pair_table.iter
     (fun k v ->
       let i = k / n and j = k mod n in
@@ -132,6 +165,7 @@ let make ?(acyclicity = Vertex_elimination) ?(elimination_order = Min_degree)
     zvar;
   (* φ_root: the root is in, has no incoming edge, and every other chosen
      node has at least one incoming edge. *)
+  clause_group := m_clauses_root;
   let root_id = Fact.Table.find id_of (Closure.root closure) in
   add_clause [ pos (xvar root_id) ];
   (match Hashtbl.find_opt in_neighbors root_id with
@@ -150,6 +184,7 @@ let make ?(acyclicity = Vertex_elimination) ?(elimination_order = Min_degree)
     nodes;
   (* φ_proof: every chosen intensional node picks a hyperedge, and a
      picked hyperedge determines the exact out-edge set of its head. *)
+  clause_group := m_clauses_proof;
   let edges_of_head : (int, (int * int list) list ref) Hashtbl.t =
     Hashtbl.create 256
   in
@@ -185,6 +220,8 @@ let make ?(acyclicity = Vertex_elimination) ?(elimination_order = Min_degree)
         all_targets)
     yvars;
   (* φ_acyclic. *)
+  clause_group := m_clauses_acyclic;
+  let vars_before_acyclic = Sat.Solver.num_vars solver in
   let elimination_width = ref 0 in
   let fill_edges = ref 0 in
   (match acyclicity with
@@ -327,6 +364,9 @@ let make ?(acyclicity = Vertex_elimination) ?(elimination_order = Min_degree)
           | Some v' -> add_clause Sat.Lit.[ neg v; neg v' ]
           | None -> ())
       evar);
+  Metrics.add m_vars_acyclic (Sat.Solver.num_vars solver - vars_before_acyclic);
+  Metrics.add m_fill_edges !fill_edges;
+  Metrics.observe_int m_elim_width !elimination_width;
   let db_facts_arr = Array.of_list (Closure.db_facts closure) in
   {
     solver;

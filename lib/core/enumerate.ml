@@ -1,5 +1,30 @@
 open Datalog
 
+(* Observability (docs/OBSERVABILITY.md, "Enumerator"). Each solver
+   descent is timed into the enum.solve_us histogram — the per-witness
+   delay distribution of the paper's Figures 2/4 — while the enum.next
+   timer carries the stage total (the sat.solve spans nest under it). *)
+module Metrics = Util.Metrics
+
+let m_next_time = Metrics.timer "enum.next"
+let m_members = Metrics.counter "enum.members"
+let m_blocking_clauses = Metrics.counter "enum.blocking_clauses"
+let m_blocking_literals = Metrics.counter "enum.blocking_literals"
+let m_exhausted = Metrics.counter "enum.exhausted"
+let m_gave_up = Metrics.counter "enum.gave_up"
+let m_card_raises = Metrics.counter "enum.card_bound_raises"
+let m_membership_checks = Metrics.counter "enum.membership_checks"
+let m_solve_us = Metrics.histogram "enum.solve_us"
+
+let timed_solve ?assumptions solver =
+  if not (Metrics.is_enabled ()) then Sat.Solver.solve ?assumptions solver
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let result = Sat.Solver.solve ?assumptions solver in
+    Metrics.observe m_solve_us ((Unix.gettimeofday () -. t0) *. 1e6);
+    result
+  end
+
 module Set_of_sets = Set.Make (struct
   type t = Fact.Set.t
   let compare = Fact.Set.compare
@@ -52,20 +77,26 @@ let record_member ?(want_witness = false) t solver =
   let witness =
     if want_witness then Some (Encode.witness_dag t.encoding model) else None
   in
-  Sat.Solver.add_clause solver (Encode.blocking_clause t.encoding member);
+  let blocking = Encode.blocking_clause t.encoding member in
+  Sat.Solver.add_clause solver blocking;
+  Metrics.incr m_members;
+  Metrics.incr m_blocking_clauses;
+  Metrics.add m_blocking_literals (List.length blocking);
   t.produced_list <- member :: t.produced_list;
   t.produced_set <- Set_of_sets.add member t.produced_set;
   (member, witness)
 
 let next t =
   if t.exhausted then None
-  else begin
+  else
+    Metrics.time m_next_time @@ fun () ->
     let solver = Encode.solver t.encoding in
     match t.card_outputs with
     | None -> (
-      match Sat.Solver.solve solver with
+      match timed_solve solver with
       | Sat.Solver.Unsat ->
         t.exhausted <- true;
+        Metrics.incr m_exhausted;
         None
       | Sat.Solver.Sat -> Some (fst (record_member t solver)))
     | Some outputs ->
@@ -78,32 +109,36 @@ let next t =
           if t.card_bound < n then [ Sat.Lit.negate outputs.(t.card_bound) ]
           else []
         in
-        match Sat.Solver.solve ~assumptions solver with
+        match timed_solve ~assumptions solver with
         | Sat.Solver.Sat -> Some (fst (record_member t solver))
         | Sat.Solver.Unsat ->
           if t.card_bound >= n then begin
             t.exhausted <- true;
+            Metrics.incr m_exhausted;
             None
           end
           else begin
             t.card_bound <- t.card_bound + 1;
+            Metrics.incr m_card_raises;
             attempt ()
           end
       in
       attempt ()
-  end
 
 let next_limited ~conflict_budget t =
   if t.exhausted then `Exhausted
-  else begin
+  else
+    Metrics.time m_next_time @@ fun () ->
     let solver = Encode.solver t.encoding in
     match Sat.Solver.solve_limited ~conflict_budget solver with
-    | None -> `Gave_up
+    | None ->
+      Metrics.incr m_gave_up;
+      `Gave_up
     | Some Sat.Solver.Unsat ->
       t.exhausted <- true;
+      Metrics.incr m_exhausted;
       `Exhausted
     | Some Sat.Solver.Sat -> `Member (fst (record_member t solver))
-  end
 
 let to_list ?limit t =
   let rec loop acc k =
@@ -123,6 +158,7 @@ let encoding t = t.encoding
 let produced t = List.length t.produced_list
 
 let member t candidate =
+  Metrics.incr m_membership_checks;
   if Set_of_sets.mem candidate t.produced_set then true
   else
     match Encode.assumptions_for t.encoding candidate with
@@ -134,14 +170,15 @@ let member t candidate =
 
 let next_with_witness t =
   if t.exhausted then None
-  else begin
+  else
+    Metrics.time m_next_time @@ fun () ->
     let solver = Encode.solver t.encoding in
-    match Sat.Solver.solve solver with
+    match timed_solve solver with
     | Sat.Solver.Unsat ->
       t.exhausted <- true;
+      Metrics.incr m_exhausted;
       None
     | Sat.Solver.Sat -> (
       match record_member ~want_witness:true t solver with
       | member, Some dag -> Some (member, dag)
       | _, None -> assert false)
-  end

@@ -1,5 +1,33 @@
 type binding = (Symbol.t, Symbol.t) Hashtbl.t
 
+(* Observability (docs/OBSERVABILITY.md, "Datalog evaluation"). The
+   tuple/firing counters are engine-wide: they also tick when the
+   closure layer replays rules backwards through [derivations]. *)
+module Metrics = Util.Metrics
+
+let m_naive_time = Metrics.timer "eval.naive"
+let m_seminaive_time = Metrics.timer "eval.seminaive"
+let m_runs = Metrics.counter "eval.seminaive.runs"
+let m_rounds = Metrics.counter "eval.rounds"
+let m_derived = Metrics.counter "eval.facts_derived"
+let m_model_facts = Metrics.counter "eval.model_facts"
+let m_firings = Metrics.counter "eval.rule_firings"
+let m_tuples = Metrics.counter "eval.tuples_matched"
+let m_delta_size = Metrics.histogram "eval.delta_size"
+
+(* Per-predicate delta totals, e.g. "eval.delta.tc". Only materialized
+   when recording is on: the name allocation is not free. *)
+let record_delta db =
+  if Metrics.is_enabled () then begin
+    Metrics.observe_int m_delta_size (Database.size db);
+    List.iter
+      (fun pred ->
+        Metrics.add
+          (Metrics.counter ("eval.delta." ^ Symbol.name pred))
+          (Database.count_pred db pred))
+      (Database.preds db)
+  end
+
 let match_atom db (b : binding) (atom : Atom.t) k =
   (* Positions already fixed by constants or bound variables. *)
   let bound = ref [] in
@@ -31,7 +59,10 @@ let match_atom db (b : binding) (atom : Atom.t) k =
                  newly := v :: !newly))
            atom.Atom.args
        with Exit -> ok := false);
-      if !ok then k fact;
+      if !ok then begin
+        Metrics.incr m_tuples;
+        k fact
+      end;
       List.iter (Hashtbl.remove b) !newly)
 
 let bound_positions (b : binding) (atom : Atom.t) =
@@ -85,6 +116,7 @@ let ground b (atom : Atom.t) =
    The delta atom is matched first (it is the smallest relation), the
    rest greedily by selectivity. *)
 let fire_rule ~full ~delta ~pos rule emit =
+  Metrics.incr m_firings;
   let b : binding = Hashtbl.create 16 in
   let body = Rule.body rule in
   let finish () = emit (ground b (Rule.head rule)) in
@@ -96,6 +128,7 @@ let fire_rule ~full ~delta ~pos rule emit =
   end
 
 let naive program db =
+  Metrics.time m_naive_time @@ fun () ->
   let model = Database.of_list (Database.to_list db) in
   let changed = ref true in
   while !changed do
@@ -113,6 +146,8 @@ let naive program db =
   model
 
 let seminaive ?ranks program db =
+  Metrics.time m_seminaive_time @@ fun () ->
+  Metrics.incr m_runs;
   let model = Database.of_list (Database.to_list db) in
   let record round fact =
     match ranks with
@@ -127,9 +162,14 @@ let seminaive ?ranks program db =
       fire_rule ~full:model ~delta:model ~pos:(-1) rule (fun fact ->
           if not (Database.mem model fact) then ignore (Database.add !delta fact)))
     (Program.rules program);
+  Metrics.incr m_rounds;
+  record_delta !delta;
   Database.iter
     (fun fact ->
-      if Database.add model fact then record 1 fact)
+      if Database.add model fact then begin
+        Metrics.incr m_derived;
+        record 1 fact
+      end)
     !delta;
   (* idb positions of each rule body, precomputed. *)
   let idb_positions rule =
@@ -153,13 +193,19 @@ let seminaive ?ranks program db =
                 then ignore (Database.add next fact)))
           positions)
       rule_positions;
+    Metrics.incr m_rounds;
+    record_delta next;
     Database.iter
       (fun fact ->
-        if Database.add model fact then record !round fact)
+        if Database.add model fact then begin
+          Metrics.incr m_derived;
+          record !round fact
+        end)
       next;
     delta := next;
     incr round
   done;
+  Metrics.add m_model_facts (Database.size model);
   model
 
 let holds program db fact = Database.mem (seminaive program db) fact

@@ -6,6 +6,19 @@ type t = {
   goal : Atom.t;
 }
 
+(* Observability (docs/OBSERVABILITY.md, "Datalog evaluation"). The
+   relevance-reduction ratio of the magic-set transformation is
+   magic.model_facts / eval.model_facts when a run evaluates the same
+   query both ways; we record the raw sizes and leave the division to
+   the reader of the snapshot. *)
+module Metrics = Util.Metrics
+
+let m_transforms = Metrics.counter "magic.transforms"
+let m_rules_in = Metrics.counter "magic.rules_in"
+let m_rules_out = Metrics.counter "magic.rules_out"
+let m_model_facts = Metrics.counter "magic.model_facts"
+let m_answers = Metrics.counter "magic.answers"
+
 (* Adornments are strings over {'b','f'}, one character per argument. *)
 
 let adorned_name pred adornment =
@@ -106,6 +119,9 @@ let transform program (goal : Atom.t) =
            | Term.Var _ -> assert false)
          args)
   in
+  Metrics.incr m_transforms;
+  Metrics.add m_rules_in (List.length (Program.rules program));
+  Metrics.add m_rules_out (List.length !rules);
   {
     program = Program.make (List.rev !rules);
     seed;
@@ -130,7 +146,9 @@ let answers t db =
       t.goal.Atom.args;
     !ok
   in
+  Metrics.add m_model_facts (Database.size model);
   let acc = ref [] in
   Database.iter_pred model t.answer_pred (fun f ->
       if matches f then acc := Fact.make t.original_pred (Fact.args f) :: !acc);
+  Metrics.add m_answers (List.length !acc);
   List.sort Fact.compare !acc

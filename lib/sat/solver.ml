@@ -1,5 +1,26 @@
 module Vec = Util.Vec
 
+(* Observability (docs/OBSERVABILITY.md, "SAT solver"). The hot loops
+   (propagate, enqueue) keep using the solver's own [n_*] fields; the
+   global registry is synchronized with their deltas once per [solve]
+   call, so enabling metrics costs nothing on the search path. The LBD
+   histogram and learnt-clause counter tick per conflict, which is
+   orders of magnitude rarer than propagations. *)
+module Metrics = Util.Metrics
+
+let m_solve_time = Metrics.timer "sat.solve"
+let m_solve_calls = Metrics.counter "sat.solve_calls"
+let m_clauses_added = Metrics.counter "sat.clauses_added"
+let m_decisions = Metrics.counter "sat.decisions"
+let m_propagations = Metrics.counter "sat.propagations"
+let m_conflicts = Metrics.counter "sat.conflicts"
+let m_restarts = Metrics.counter "sat.restarts"
+let m_learnt_clauses = Metrics.counter "sat.learnt_clauses"
+let m_learnt_literals = Metrics.counter "sat.learnt_literals"
+let m_deleted_clauses = Metrics.counter "sat.deleted_clauses"
+let m_db_reductions = Metrics.counter "sat.db_reductions"
+let m_lbd = Metrics.histogram "sat.lbd"
+
 type result =
   | Sat
   | Unsat
@@ -382,6 +403,7 @@ let analyze t confl =
 
 let add_clause t lits =
   assert (decision_level t = 0);
+  Metrics.incr m_clauses_added;
   t.model_ <- None;
   if t.ok then begin
     List.iter (fun l -> ensure_vars t (Lit.var l + 1)) lits;
@@ -482,6 +504,8 @@ let reduce_db t =
       removable
   in
   let to_delete = List.length sorted / 2 in
+  Metrics.incr m_db_reductions;
+  Metrics.add m_deleted_clauses to_delete;
   List.iteri
     (fun i c ->
       if i < to_delete then begin
@@ -540,6 +564,8 @@ let search t assumptions budget =
         log_add t learnt.lits;
         backtrack t btlevel;
         t.n_learnt_lits <- t.n_learnt_lits + Array.length learnt.lits;
+        Metrics.incr m_learnt_clauses;
+        Metrics.observe_int m_lbd learnt.lbd;
         (match learnt.lits with
         | [| l |] ->
           (* Unit learnt clause: assert at level 0. *)
@@ -584,6 +610,21 @@ let search t assumptions budget =
 exception Out_of_budget
 
 let solve_aux ?(assumptions = []) ?conflict_budget t =
+  Metrics.time m_solve_time @@ fun () ->
+  Metrics.incr m_solve_calls;
+  let conflicts0 = t.n_conflicts
+  and decisions0 = t.n_decisions
+  and propagations0 = t.n_propagations
+  and restarts0 = t.n_restarts
+  and learnt_lits0 = t.n_learnt_lits in
+  let sync_deltas () =
+    Metrics.add m_conflicts (t.n_conflicts - conflicts0);
+    Metrics.add m_decisions (t.n_decisions - decisions0);
+    Metrics.add m_propagations (t.n_propagations - propagations0);
+    Metrics.add m_restarts (t.n_restarts - restarts0);
+    Metrics.add m_learnt_literals (t.n_learnt_lits - learnt_lits0)
+  in
+  Fun.protect ~finally:sync_deltas @@ fun () ->
   t.model_ <- None;
   if not t.ok then Some Unsat
   else begin

@@ -1,0 +1,123 @@
+(** Pipeline-wide observability: counters, nested wall-clock stage
+    timers, power-of-two histograms, and a global registry with
+    reset/snapshot and human/JSON renderers.
+
+    Every pipeline layer registers its instruments at module load and
+    records into them unconditionally; recording is a no-op (a single
+    flag check, no clock reads, no allocation) until {!set_enabled} is
+    called with [true]. The metric names, units and JSON shape are
+    specified in [docs/OBSERVABILITY.md]; that document is the contract
+    for the [--stats=json] output of the [whyprov] binary and for the
+    stats rows the bench harness emits. *)
+
+(** Minimal JSON values: exactly what snapshots need, plus a parser so
+    that dumps can be validated and round-tripped without an external
+    JSON dependency. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+
+  exception Parse_error of string
+
+  val parse : string -> t
+  (** Parses a JSON document. @raise Parse_error on malformed input. *)
+
+  val equal : t -> t -> bool
+  (** Structural equality (object field order is significant). *)
+
+  val member : string -> t -> t option
+  (** [member key (Obj fields)] looks up [key]; [None] on non-objects. *)
+
+  val escape : string -> string
+  (** JSON string-body escaping (no surrounding quotes). *)
+end
+
+(** {1 Enablement} *)
+
+val set_enabled : bool -> unit
+(** Recording is disabled by default. Toggling mid-span is not
+    supported (spans started while enabled must stop while enabled). *)
+
+val is_enabled : unit -> bool
+(** Guard for instrumentation whose mere preparation would allocate
+    (e.g. building a per-predicate metric name). *)
+
+(** {1 Instruments}
+
+    Creation is idempotent: the same name always returns the same
+    instrument. A name denotes one kind forever; re-registering it as a
+    different kind raises [Invalid_argument]. *)
+
+type counter
+type timer
+type histogram
+
+val counter : string -> counter
+val timer : string -> timer
+val histogram : string -> histogram
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val time : timer -> (unit -> 'a) -> 'a
+(** [time t f] runs [f] inside a span of [t]: its inclusive wall time
+    accrues to [t]'s total, and is subtracted from the self-time of the
+    enclosing span, if any. Exception-safe: a raising [f] still records
+    its span. When disabled this is exactly [f ()]. *)
+
+val observe : histogram -> float -> unit
+(** Buckets are powers of two: observation [v] lands in the first
+    bucket whose inclusive upper bound [2^i] satisfies [v <= 2^i]
+    (non-positive values land in bucket 0). *)
+
+val observe_int : histogram -> int -> unit
+
+(** {1 Registry} *)
+
+val reset : unit -> unit
+(** Zeroes every registered instrument (registrations persist). *)
+
+type snapshot_entry =
+  | Counter_value of int
+  | Timer_value of { count : int; total : float; self : float; max : float }
+  | Histogram_value of {
+      count : int;
+      sum : float;
+      min : float;
+      max : float;
+      buckets : (float * int) list;
+    }
+
+val snapshot : unit -> (string * snapshot_entry) list
+(** Every instrument that recorded at least one event since the last
+    {!reset}, sorted by name. Untouched instruments are omitted. *)
+
+val get_counter : string -> int
+(** Current value by name; [0] if absent or not a counter. *)
+
+val get_timer_count : string -> int
+val get_histogram_count : string -> int
+
+(** {1 Renderers} *)
+
+val schema_version : string
+(** The value of the ["schema"] field of JSON snapshots. *)
+
+val snapshot_to_json : unit -> Json.t
+(** The snapshot as [{schema; counters; timers; histograms}] — see
+    [docs/OBSERVABILITY.md] for the exact shape. *)
+
+val to_json_string : unit -> string
+
+val pp : Format.formatter -> unit -> unit
+(** Human-readable listing, one instrument per line. *)
+
+val to_string : unit -> string

@@ -1,0 +1,38 @@
+(* Validates a `whyprov --stats-out FILE` dump: the file must parse as
+   JSON, carry the documented schema version, and contain at least one
+   counter from every pipeline layer (the ISSUE acceptance criterion;
+   see docs/OBSERVABILITY.md). *)
+
+module Json = Util.Metrics.Json
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let () =
+  let path = Sys.argv.(1) in
+  let ic = open_in_bin path in
+  let src = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let json =
+    try Json.parse src
+    with Json.Parse_error msg -> fail "%s: invalid JSON: %s" path msg
+  in
+  (match Json.member "schema" json with
+  | Some (Json.Str v) when v = Util.Metrics.schema_version -> ()
+  | _ -> fail "%s: missing or wrong schema version" path);
+  let counters =
+    match Json.member "counters" json with
+    | Some (Json.Obj fields) -> List.map fst fields
+    | _ -> fail "%s: no counters section" path
+  in
+  List.iter
+    (fun layer ->
+      let prefix = layer ^ "." in
+      if
+        not
+          (List.exists
+             (fun name ->
+               String.length name > String.length prefix
+               && String.sub name 0 (String.length prefix) = prefix)
+             counters)
+      then fail "%s: no %s.* counter recorded" path layer)
+    [ "eval"; "closure"; "encode"; "sat"; "enum" ]

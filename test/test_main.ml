@@ -2,6 +2,7 @@ let () =
   Alcotest.run "whyprov"
     [
       Test_util.suite;
+      Test_metrics.suite;
       Test_sat.suite;
       Test_drat.suite;
       Test_datalog.suite;
