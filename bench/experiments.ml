@@ -343,3 +343,74 @@ let combined () =
         (List.length members) (List.length members) (time_str t_closure)
         (time_str t_encode) (time_str t_enum) fo)
     [ 2; 4; 6; 8; 10; 12; 14 ]
+
+(* --- Batch enumeration: shared materialization + worker fan-out ---------- *)
+
+let batch () =
+  header
+    (Printf.sprintf
+       "Batch — multi-tuple enumeration off one materialization, 1 vs %d worker(s)"
+       config.jobs);
+  row "  %-14s %-6s %7s %8s | %10s %10s %7s | %9s %s\n" "scenario" "db"
+    "tuples" "members" "1 worker" (Printf.sprintf "%d workers" config.jobs)
+    "speedup" "cache" "identical";
+  List.iter
+    (fun scenario ->
+      let program = scenario.W.Scenario.program in
+      List.iter
+        (fun (db_name, db) ->
+          let db = Lazy.force db in
+          let spec = P.Batch.Facts (pick_tuples scenario db) in
+          let run jobs =
+            stats_begin ();
+            let outcome, total_s =
+              time (fun () ->
+                  P.Batch.run ~jobs ~limit:config.member_limit
+                    ~conflict_budget:config.conflict_budget
+                    ~max_fill:config.max_fill program db spec)
+            in
+            let members =
+              List.fold_left
+                (fun acc (r : P.Batch.result) ->
+                  acc + List.length r.P.Batch.members)
+                0 outcome.P.Batch.results
+            in
+            emit_stats_row "batch"
+              Metrics.Json.
+                [
+                  ("scenario", Str scenario.W.Scenario.name);
+                  ("db", Str db_name);
+                  ("jobs", Num (float_of_int outcome.P.Batch.jobs));
+                  ("tuples", Num (float_of_int (List.length outcome.P.Batch.results)));
+                  ("members", Num (float_of_int members));
+                  ("total_s", Num total_s);
+                  ("materialize_s", Num outcome.P.Batch.materialize_s);
+                  ("closures_s", Num outcome.P.Batch.closures_s);
+                  ("fanout_s", Num outcome.P.Batch.fanout_s);
+                  ("cache_hits", Num (float_of_int outcome.P.Batch.cache_hits));
+                  ("cache_misses", Num (float_of_int outcome.P.Batch.cache_misses));
+                ];
+            (outcome, members, total_s)
+          in
+          let o1, members1, t1 = run 1 in
+          let on, membersn, tn = run config.jobs in
+          let identical =
+            List.length o1.P.Batch.results = List.length on.P.Batch.results
+            && List.for_all2
+                 (fun (a : P.Batch.result) (b : P.Batch.result) ->
+                   D.Fact.equal a.P.Batch.fact b.P.Batch.fact
+                   && List.length a.P.Batch.members = List.length b.P.Batch.members
+                   && List.for_all2 D.Fact.Set.equal a.P.Batch.members
+                        b.P.Batch.members)
+                 o1.P.Batch.results on.P.Batch.results
+          in
+          ignore members1;
+          row "  %-14s %-6s %7d %8d | %10s %10s %6.2fx | %4d/%-4d %s\n"
+            scenario.W.Scenario.name db_name
+            (List.length o1.P.Batch.results)
+            membersn (time_str t1) (time_str tn) (t1 /. tn)
+            on.P.Batch.cache_hits
+            (on.P.Batch.cache_hits + on.P.Batch.cache_misses)
+            (if identical then "yes" else "NO — BUG"))
+        scenario.W.Scenario.databases)
+    [ transclosure (); andersen () ]

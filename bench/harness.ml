@@ -22,6 +22,7 @@ type config = {
   mutable conflict_budget : int; (* solver budget per member *)
   mutable max_fill : int;      (* vertex-elimination fill cap (paper: OOM) *)
   mutable seed : int;
+  mutable jobs : int;          (* worker domains for the batch experiment *)
   mutable stats_out : string option; (* JSONL sink, e.g. BENCH_fig1.json *)
 }
 
@@ -34,6 +35,7 @@ let config =
     conflict_budget = 400_000;
     max_fill = 400_000;
     seed = 20240614;
+    jobs = 4;
     stats_out = None;
   }
 

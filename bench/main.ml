@@ -13,8 +13,8 @@
 let usage () =
   print_endline
     "usage: main.exe [--scale F] [--tuples N] [--limit N] [--timeout S] \
-     [--budget N] [--seed N] [--stats-out FILE.json] \
-     [table1|fig1|fig2|fig3|fig4|fig5|hardness|ablation|combined|micro|all]...";
+     [--budget N] [--seed N] [--jobs N] [--stats-out FILE.json] \
+     [table1|fig1|fig2|fig3|fig4|fig5|hardness|ablation|combined|batch|micro|all]...";
   exit 1
 
 let () =
@@ -39,6 +39,9 @@ let () =
       parse rest
     | "--seed" :: v :: rest ->
       Harness.config.Harness.seed <- int_of_string v;
+      parse rest
+    | "--jobs" :: v :: rest ->
+      Harness.config.Harness.jobs <- int_of_string v;
       parse rest
     | "--stats-out" :: v :: rest ->
       (* Per-stage stats rows (docs/OBSERVABILITY.md): one JSON line per
@@ -65,6 +68,7 @@ let () =
     | "hardness" -> Experiments.hardness ()
     | "ablation" -> Experiments.ablation ()
     | "combined" -> Experiments.combined ()
+    | "batch" -> Experiments.batch ()
     | "micro" -> Micro.run ()
     | "all" ->
       Experiments.table1 ();
@@ -74,6 +78,7 @@ let () =
       Experiments.hardness ();
       Experiments.ablation ();
       Experiments.combined ();
+      Experiments.batch ();
       Micro.run ()
     | other ->
       Printf.eprintf "unknown experiment %S\n" other;

@@ -10,6 +10,7 @@
    Commands:
      whyprov answers  FILE -q tc
      whyprov explain  FILE -q tc -t a,c [--limit N] [--tc-acyclicity]
+     whyprov batch    FILE -q tc [-t a,c -t a,d | --all] [--jobs N] [--budget N]
      whyprov check    FILE -q tc -t a,c -s 'edge(a,b). edge(b,c).' [--variant un]
      whyprov tree     FILE -q tc -t a,c [--dot]
      whyprov stats    FILE -q tc -t a,c
@@ -73,12 +74,26 @@ let cmd_answers () path query_pred =
   List.iter (fun f -> print_endline (D.Fact.to_string f)) answers;
   Printf.printf "%% %d answer(s)\n" (List.length answers)
 
+(* A goal that is not in the materialized model has an empty
+   why-provenance by definition; treat it as a user error (mistyped
+   tuple, wrong predicate) with a clear message and a non-zero exit
+   rather than silently printing nothing. *)
+let check_derivable closure fact =
+  if not (P.Closure.derivable closure) then begin
+    Format.eprintf
+      "whyprov: %a is not derivable (not in the materialized model)@."
+      D.Fact.pp fact;
+    exit 1
+  end
+
 let cmd_explain () path query_pred tuple limit use_tc smallest witness =
   let program, db = load_file path in
   let q = P.Explain.query program query_pred in
   let fact = P.Explain.goal q (parse_tuple tuple) in
+  let closure = P.Closure.build program db fact in
+  check_derivable closure fact;
   if witness then begin
-    let enumeration = P.Enumerate.create program db fact in
+    let enumeration = P.Enumerate.of_closure closure in
     let rec loop i =
       if i <= limit then
         match P.Enumerate.next_with_witness enumeration with
@@ -95,7 +110,7 @@ let cmd_explain () path query_pred tuple limit use_tc smallest witness =
       if use_tc then P.Encode.Transitive_closure else P.Encode.Vertex_elimination
     in
     let enumeration =
-      P.Enumerate.create ~acyclicity ~smallest_first:smallest program db fact
+      P.Enumerate.of_closure ~acyclicity ~smallest_first:smallest closure
     in
     let members = P.Enumerate.to_list ~limit enumeration in
     List.iteri
@@ -103,8 +118,67 @@ let cmd_explain () path query_pred tuple limit use_tc smallest witness =
       members
   end
   else begin
-    let explanation = P.Explain.explain ~limit q db fact in
+    let explanation = P.Explain.explain_of_closure ~limit closure in
     Format.printf "%a@." P.Explain.pp_explanation explanation
+  end
+
+let cmd_batch () path query_pred tuples all jobs limit budget =
+  let program, db = load_file path in
+  let q = P.Explain.query program query_pred in
+  let explicit = tuples <> [] && not all in
+  let spec =
+    if explicit then
+      P.Batch.Facts (List.map (fun t -> P.Explain.goal q (parse_tuple t)) tuples)
+    else P.Batch.All_answers q.P.Explain.answer_pred
+  in
+  let conflict_budget = if budget > 0 then Some budget else None in
+  let outcome = P.Batch.run ~jobs ~limit ?conflict_budget program db spec in
+  (* Stdout is tuple-ordered and independent of --jobs: the paired
+     smoke tests diff a --jobs 1 run against a --jobs 2 run. *)
+  let total_members = ref 0 in
+  List.iter
+    (fun (r : P.Batch.result) ->
+      total_members := !total_members + List.length r.P.Batch.members;
+      (match r.P.Batch.status with
+      | P.Batch.Complete ->
+        Format.printf "%a: %d member(s)@." D.Fact.pp r.P.Batch.fact
+          (List.length r.P.Batch.members)
+      | P.Batch.Limit_reached ->
+        Format.printf "%a: at least %d members (limit)@." D.Fact.pp
+          r.P.Batch.fact
+          (List.length r.P.Batch.members)
+      | P.Batch.Budget_exhausted ->
+        Format.printf "%a: at least %d members (budget exhausted)@." D.Fact.pp
+          r.P.Batch.fact
+          (List.length r.P.Batch.members)
+      | P.Batch.Too_large ->
+        Format.printf "%a: encoding too large@." D.Fact.pp r.P.Batch.fact
+      | P.Batch.Not_derivable ->
+        Format.printf "%a: not derivable@." D.Fact.pp r.P.Batch.fact);
+      List.iteri
+        (fun i m -> Format.printf "  %2d. %a@." (i + 1) D.Fact.pp_set m)
+        r.P.Batch.members)
+    outcome.P.Batch.results;
+  Format.printf "%% %d tuple(s), %d member(s), closure cache %d/%d hits@."
+    (List.length outcome.P.Batch.results)
+    !total_members outcome.P.Batch.cache_hits
+    (outcome.P.Batch.cache_hits + outcome.P.Batch.cache_misses);
+  if explicit then begin
+    let missing =
+      List.filter
+        (fun (r : P.Batch.result) -> r.P.Batch.status = P.Batch.Not_derivable)
+        outcome.P.Batch.results
+    in
+    match missing with
+    | [] -> ()
+    | _ ->
+      List.iter
+        (fun (r : P.Batch.result) ->
+          Format.eprintf
+            "whyprov: %a is not derivable (not in the materialized model)@."
+            D.Fact.pp r.P.Batch.fact)
+        missing;
+      exit 1
   end
 
 let cmd_check () path query_pred tuple subset variant =
@@ -278,6 +352,37 @@ let smallest_arg =
 let witness_arg =
   Arg.(value & flag & info [ "witness" ] ~doc:"Print an unambiguous proof tree witnessing each member.")
 
+let tuples_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "t"; "tuple" ] ~docv:"C1,C2,…"
+        ~doc:"Answer tuple (comma-separated constants); repeatable.")
+
+let all_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "all" ]
+        ~doc:"Enumerate every answer of the query predicate (default when no \
+              $(b,--tuple) is given).")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Worker domains for the encode/enumerate fan-out (default 1: \
+              run sequentially on the calling domain).")
+
+let budget_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "budget" ] ~docv:"N"
+        ~doc:"Per-tuple solver conflict budget; 0 (default) means \
+              unbounded solving.")
+
 let subset_arg =
   Arg.(required & opt (some string) None & info [ "s"; "subset" ] ~docv:"FACTS" ~doc:"Candidate subset, as 'f(a). g(b).'.")
 
@@ -316,6 +421,17 @@ let explain_cmd =
   Cmd.v (Cmd.info "explain" ~doc:"Enumerate the why-provenance (unambiguous proof trees) of an answer")
     Term.(const cmd_explain $ stats_term $ file_arg $ query_arg $ tuple_arg $ limit_arg $ tc_arg $ smallest_arg $ witness_arg)
 
+let batch_cmd =
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Enumerate the why-provenance of many answers off one shared \
+          materialization, optionally fanning the per-tuple solver work over \
+          several worker domains")
+    Term.(
+      const cmd_batch $ stats_term $ file_arg $ query_arg $ tuples_arg
+      $ all_arg $ jobs_arg $ limit_arg $ budget_arg)
+
 let check_cmd =
   Cmd.v (Cmd.info "check" ~doc:"Decide membership of a subset in the why-provenance")
     Term.(const cmd_check $ stats_term $ file_arg $ query_arg $ tuple_arg $ subset_arg $ variant_arg)
@@ -335,4 +451,4 @@ let stats_cmd =
 let () =
   let doc = "why-provenance for Datalog queries (PODS 2024 reproduction)" in
   let info = Cmd.info "whyprov" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ answers_cmd; explain_cmd; check_cmd; tree_cmd; stats_cmd; repl_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ answers_cmd; explain_cmd; batch_cmd; check_cmd; tree_cmd; stats_cmd; repl_cmd ]))

@@ -10,6 +10,8 @@ let m_builds = Metrics.counter "closure.builds"
 let m_nodes = Metrics.counter "closure.nodes"
 let m_rule_instances = Metrics.counter "closure.rule_instances"
 let m_db_facts = Metrics.counter "closure.db_facts"
+let m_cache_hits = Metrics.counter "closure.cache_hits"
+let m_cache_misses = Metrics.counter "closure.cache_misses"
 
 type hyperedge = {
   head : Fact.t;
@@ -29,7 +31,10 @@ type t = {
   n_edges : int;
 }
 
-let build_with_model program ~model db root_fact =
+(* The traversal is parameterized over how rule instances are obtained,
+   so that batch enumeration can memoize [Eval.derivations] across the
+   closures of many answer tuples of the same materialization. *)
+let build_from ~derivations program db root_fact ~derivable =
   Metrics.time m_build_time @@ fun () ->
   Metrics.incr m_builds;
   let edges_by_head : hyperedge list Fact.Table.t = Fact.Table.create 1024 in
@@ -41,7 +46,7 @@ let build_with_model program ~model db root_fact =
   while not (Queue.is_empty queue) do
     let fact = Queue.pop queue in
     if Program.is_idb program (Fact.pred fact) then begin
-      let ds = Eval.derivations program model fact in
+      let ds = derivations fact in
       let edges =
         List.map
           (fun (rule, body) ->
@@ -78,13 +83,68 @@ let build_with_model program ~model db root_fact =
     node_table = visited;
     node_list;
     db_in_closure;
-    derivable = Database.mem model root_fact;
+    derivable;
     n_edges = !n_edges;
   }
+
+let build_with_model program ~model db root_fact =
+  build_from
+    ~derivations:(fun fact -> Eval.derivations program model fact)
+    program db root_fact
+    ~derivable:(Database.mem model root_fact)
 
 let build program db root_fact =
   let model = Eval.seminaive program db in
   build_with_model program ~model db root_fact
+
+(* --- Shared grounded-instance cache ------------------------------------ *)
+
+(* Batch enumeration builds one closure per answer tuple of the same
+   materialized model; tuples of one query share most of their downward
+   closures, so the [Eval.derivations] call — the expensive part of the
+   backward traversal, a join per rule defining the fact — is memoized
+   here and shared across builds. Not domain-safe: the batch subsystem
+   builds all closures on the coordinating domain and only fans out the
+   encode/enumerate work. *)
+type instance_cache = {
+  ic_program : Program.t;
+  ic_model : Database.t;
+  ic_table : (Rule.t * Fact.t list) list Fact.Table.t;
+  mutable ic_hits : int;
+  mutable ic_misses : int;
+}
+
+let instance_cache program ~model =
+  {
+    ic_program = program;
+    ic_model = model;
+    ic_table = Fact.Table.create 1024;
+    ic_hits = 0;
+    ic_misses = 0;
+  }
+
+let cached_derivations cache fact =
+  match Fact.Table.find_opt cache.ic_table fact with
+  | Some ds ->
+    cache.ic_hits <- cache.ic_hits + 1;
+    Metrics.incr m_cache_hits;
+    ds
+  | None ->
+    let ds = Eval.derivations cache.ic_program cache.ic_model fact in
+    cache.ic_misses <- cache.ic_misses + 1;
+    Metrics.incr m_cache_misses;
+    Fact.Table.add cache.ic_table fact ds;
+    ds
+
+let build_cached cache db root_fact =
+  build_from
+    ~derivations:(cached_derivations cache)
+    cache.ic_program db root_fact
+    ~derivable:(Database.mem cache.ic_model root_fact)
+
+let cache_model cache = cache.ic_model
+let cache_hits cache = cache.ic_hits
+let cache_misses cache = cache.ic_misses
 
 let root t = t.root
 let program t = t.program

@@ -31,6 +31,36 @@ val build : Program.t -> Database.t -> Fact.t -> t
 val build_with_model : Program.t -> model:Database.t -> Database.t -> Fact.t -> t
 (** Same, reusing an already materialized model. *)
 
+(** {2 Shared grounded-instance cache}
+
+    Batch enumeration ({!Batch}) builds one closure per answer tuple of
+    the same materialized model. Tuples of one query share most of
+    their downward closures, so the backward rule-instance extraction
+    ([Eval.derivations] — a join per rule defining the reached fact) is
+    memoized in a cache shared across the builds. A closure built
+    through the cache is identical to one built standalone against the
+    same model. The cache is {e not} domain-safe; batch enumeration
+    builds every closure on the coordinating domain and fans out only
+    the encode/enumerate work. *)
+
+type instance_cache
+
+val instance_cache : Program.t -> model:Database.t -> instance_cache
+(** A fresh cache for the given program and materialized model. *)
+
+val build_cached : instance_cache -> Database.t -> Fact.t -> t
+(** Like {!build_with_model} (against the cache's model), memoizing the
+    rule instances of every reached fact in the cache. *)
+
+val cache_model : instance_cache -> Database.t
+(** The materialized model the cache was created with. *)
+
+val cache_hits : instance_cache -> int
+val cache_misses : instance_cache -> int
+(** Cumulative memoization statistics over all builds through this
+    cache (also exported as the [closure.cache_hits] /
+    [closure.cache_misses] metrics). *)
+
 val root : t -> Fact.t
 val program : t -> Program.t
 

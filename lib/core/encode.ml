@@ -57,10 +57,11 @@ type elimination_order =
   | Input_order
 
 let make ?(acyclicity = Vertex_elimination) ?(elimination_order = Min_degree)
-    ?(max_fill = max_int) ?(capture = false) closure =
+    ?(max_fill = max_int) ?(capture = false) ?(proof_logging = false) closure =
   Metrics.time m_encode_time @@ fun () ->
   Metrics.incr m_encodes;
   let solver = Sat.Solver.create () in
+  if proof_logging then Sat.Solver.enable_proof_logging solver;
   let nclauses = ref 0 in
   let captured = ref [] in
   (* Which formula component clauses are currently charged to; the

@@ -35,12 +35,17 @@ val make :
   ?elimination_order:elimination_order ->
   ?max_fill:int ->
   ?capture:bool ->
+  ?proof_logging:bool ->
   Closure.t ->
   t
 (** Builds the formula and loads it into a fresh solver.
     [max_fill] bounds the number of fill edges created by vertex
     elimination (default: unlimited); [capture] additionally retains the
-    clause list (for DIMACS export and the DPLL ablation). *)
+    clause list (for DIMACS export and the DPLL ablation);
+    [proof_logging] turns on DRAT proof logging on the fresh solver
+    before any clause is added, so that the terminal UNSAT answer of an
+    enumeration can be certified with {!Sat.Drat.check} (combine with
+    [capture] to get the original clause list the checker needs). *)
 
 val captured_clauses : t -> Sat.Lit.t list list option
 (** The clause list when built with [~capture:true]. *)

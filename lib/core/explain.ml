@@ -28,8 +28,8 @@ type explanation = {
   total : [ `Exactly of int | `At_least of int ];
 }
 
-let explain ?(limit = 100) q db fact =
-  let enumeration = Enumerate.create q.program db fact in
+let explain_of_closure ?(limit = 100) closure =
+  let enumeration = Enumerate.of_closure closure in
   let members = Enumerate.to_list ~limit enumeration in
   let total =
     match Enumerate.next enumeration with
@@ -37,6 +37,9 @@ let explain ?(limit = 100) q db fact =
     | Some _ -> `At_least (List.length members + 1)
   in
   { members; total }
+
+let explain ?limit q db fact =
+  explain_of_closure ?limit (Closure.build q.program db fact)
 
 let why_provenance ~variant q db fact candidate =
   match variant with

@@ -29,6 +29,10 @@ type explanation = {
 val explain : ?limit:int -> query -> Database.t -> Fact.t -> explanation
 (** Enumerates [why_UN(t̄, D, Q)] up to [limit] members (default 100). *)
 
+val explain_of_closure : ?limit:int -> Closure.t -> explanation
+(** Same, reusing a downward closure built by the caller (the CLI uses
+    this to check derivability and enumerate off one materialization). *)
+
 val why_provenance :
   variant:[ `Any | `Unambiguous | `Non_recursive | `Minimal_depth ] ->
   query ->

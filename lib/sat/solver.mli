@@ -10,7 +10,15 @@
     under fixed leaf assignments).
 
     This module substitutes for the Glucose 4.2.1 solver used by the
-    paper's artifact. *)
+    paper's artifact.
+
+    {b Domain confinement.} A solver instance owns all of its mutable
+    state (clause arena, watch lists, trail, activity heap, model);
+    the module keeps no module-level mutable state besides the
+    {!Util.Metrics} instruments, which are domain-safe. Distinct
+    instances may therefore run on distinct OCaml 5 domains
+    concurrently — the batch enumerator relies on this — but a single
+    instance must only ever be driven from one domain at a time. *)
 
 type t
 

@@ -8,6 +8,13 @@
      single [enabled] flag before touching the clock or allocating.
      Handle creation ([counter] / [histogram]) is allowed while
      disabled — it is a one-time registry insertion at module load.
+   - Domain-safe recording: the batch enumerator fans per-tuple work
+     out over OCaml 5 domains, and every worker records into the same
+     global instruments. Counters are [Atomic.t] (no lost increments),
+     timer/histogram mutations and registry traversals take a single
+     process-wide mutex (records are rare next to counter bumps), and
+     timer span nesting lives in domain-local storage so spans on one
+     domain never parent spans on another.
    - No dependencies beyond [Unix.gettimeofday]; JSON is rendered and
      parsed by the tiny [Json] module below so that snapshots can be
      round-tripped in tests and validated by tooling without pulling a
@@ -263,7 +270,7 @@ end
 
 type counter = {
   c_name : string;
-  mutable c_value : int;
+  c_value : int Atomic.t;
 }
 
 type timer = {
@@ -295,15 +302,30 @@ type metric =
 
 (* --- Registry --------------------------------------------------------- *)
 
-let enabled = ref false
-let set_enabled b = enabled := b
-let is_enabled () = !enabled
+let enabled = Atomic.make false
+let set_enabled b = Atomic.set enabled b
+let is_enabled () = Atomic.get enabled
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+(* One process-wide lock guards the registry table and every
+   timer/histogram mutation. Counters bypass it (they are atomics). *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+    Mutex.unlock lock;
+    v
+  | exception e ->
+    Mutex.unlock lock;
+    raise e
 
 (* Insertion order, so snapshots are stable without sorting surprises
    (we still sort by name when rendering). *)
 let register name metric =
+  locked @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some existing -> existing
   | None ->
@@ -311,7 +333,7 @@ let register name metric =
     metric
 
 let counter name =
-  match register name (Counter { c_name = name; c_value = 0 }) with
+  match register name (Counter { c_name = name; c_value = Atomic.make 0 }) with
   | Counter c -> c
   | _ -> invalid_arg (Printf.sprintf "Metrics.counter: %s is not a counter" name)
 
@@ -342,9 +364,9 @@ let histogram name =
 
 (* --- Recording -------------------------------------------------------- *)
 
-let incr c = if !enabled then c.c_value <- c.c_value + 1
-let add c n = if !enabled then c.c_value <- c.c_value + n
-let counter_value c = c.c_value
+let incr c = if Atomic.get enabled then Atomic.incr c.c_value
+let add c n = if Atomic.get enabled then ignore (Atomic.fetch_and_add c.c_value n)
+let counter_value c = Atomic.get c.c_value
 
 let bucket_of v =
   if v <= 1.0 then 0
@@ -357,13 +379,13 @@ let bucket_of v =
   end
 
 let observe h v =
-  if !enabled then begin
+  if Atomic.get enabled then
+    locked @@ fun () ->
     h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
     h.h_count <- h.h_count + 1;
     h.h_sum <- h.h_sum +. v;
     if v < h.h_min then h.h_min <- v;
     if v > h.h_max then h.h_max <- v
-  end
 
 let observe_int h v = observe h (float_of_int v)
 
@@ -371,18 +393,22 @@ let observe_int h v = observe h (float_of_int v)
    the inclusive time of its direct children so that the parent's
    self-time can be computed on [stop]. Exceptions unwind the stack via
    [Fun.protect], so a raising stage ([Encode.Too_large], solver budget
-   exhaustion, …) still records its span. *)
+   exhaustion, …) still records its span. The stack is domain-local:
+   spans running on a worker domain nest among themselves and never
+   under a span of another domain. *)
 type frame = {
   f_timer : timer;
   f_start : float;
   mutable f_children : float;
 }
 
-let span_stack : frame list ref = ref []
+let span_stack_key : frame list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
 let time t f =
-  if not !enabled then f ()
+  if not (Atomic.get enabled) then f ()
   else begin
+    let span_stack = Domain.DLS.get span_stack_key in
     let frame = { f_timer = t; f_start = Unix.gettimeofday (); f_children = 0.0 } in
     span_stack := frame :: !span_stack;
     Fun.protect
@@ -399,10 +425,11 @@ let time t f =
             | [] -> []
           in
           span_stack := unwind !span_stack);
-        t.t_count <- t.t_count + 1;
-        t.t_total <- t.t_total +. elapsed;
-        t.t_self <- t.t_self +. Float.max 0.0 (elapsed -. frame.f_children);
-        if elapsed > t.t_max then t.t_max <- elapsed;
+        (locked @@ fun () ->
+         t.t_count <- t.t_count + 1;
+         t.t_total <- t.t_total +. elapsed;
+         t.t_self <- t.t_self +. Float.max 0.0 (elapsed -. frame.f_children);
+         if elapsed > t.t_max then t.t_max <- elapsed);
         match !span_stack with
         | parent :: _ -> parent.f_children <- parent.f_children +. elapsed
         | [] -> ())
@@ -412,11 +439,12 @@ let time t f =
 (* --- Reset / snapshot -------------------------------------------------- *)
 
 let reset () =
-  span_stack := [];
+  Domain.DLS.get span_stack_key := [];
+  locked @@ fun () ->
   Hashtbl.iter
     (fun _ metric ->
       match metric with
-      | Counter c -> c.c_value <- 0
+      | Counter c -> Atomic.set c.c_value 0
       | Timer t ->
         t.t_count <- 0;
         t.t_total <- 0.0;
@@ -446,18 +474,19 @@ type snapshot_entry =
    "non-zero value per layer" contract meaningful. *)
 let live metric =
   match metric with
-  | Counter c -> c.c_value <> 0
+  | Counter c -> Atomic.get c.c_value <> 0
   | Timer t -> t.t_count <> 0
   | Histogram h -> h.h_count <> 0
 
 let snapshot () =
+  locked @@ fun () ->
   Hashtbl.fold
     (fun name metric acc ->
       if not (live metric) then acc
       else
         let entry =
           match metric with
-          | Counter c -> Counter_value c.c_value
+          | Counter c -> Counter_value (Atomic.get c.c_value)
           | Timer t ->
             Timer_value
               { count = t.t_count; total = t.t_total; self = t.t_self; max = t.t_max }
@@ -481,17 +510,17 @@ let snapshot () =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let get_counter name =
-  match Hashtbl.find_opt registry name with
-  | Some (Counter c) -> c.c_value
+  match locked (fun () -> Hashtbl.find_opt registry name) with
+  | Some (Counter c) -> Atomic.get c.c_value
   | _ -> 0
 
 let get_timer_count name =
-  match Hashtbl.find_opt registry name with
+  match locked (fun () -> Hashtbl.find_opt registry name) with
   | Some (Timer t) -> t.t_count
   | _ -> 0
 
 let get_histogram_count name =
-  match Hashtbl.find_opt registry name with
+  match locked (fun () -> Hashtbl.find_opt registry name) with
   | Some (Histogram h) -> h.h_count
   | _ -> 0
 

@@ -8,7 +8,17 @@
     called with [true]. The metric names, units and JSON shape are
     specified in [docs/OBSERVABILITY.md]; that document is the contract
     for the [--stats=json] output of the [whyprov] binary and for the
-    stats rows the bench harness emits. *)
+    stats rows the bench harness emits.
+
+    Recording is domain-safe: the batch enumerator ({!Provenance.Batch})
+    runs per-tuple solver work on OCaml 5 domains, all of which record
+    into the same registry. Counter updates are atomic (concurrent
+    increments are never lost), timer/histogram updates are serialized
+    by a process-wide mutex, and timer span nesting is tracked per
+    domain, so a worker's spans never nest under another domain's.
+    {!set_enabled}, {!reset} and snapshotting are meant to be driven
+    from a single coordinating domain while no other domain is
+    mid-span. *)
 
 (** Minimal JSON values: exactly what snapshots need, plus a parser so
     that dumps can be validated and round-tripped without an external

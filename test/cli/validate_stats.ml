@@ -1,7 +1,9 @@
 (* Validates a `whyprov --stats-out FILE` dump: the file must parse as
    JSON, carry the documented schema version, and contain at least one
    counter from every pipeline layer (the ISSUE acceptance criterion;
-   see docs/OBSERVABILITY.md). *)
+   see docs/OBSERVABILITY.md). Layers to require may be given as extra
+   arguments after the file (default: the classic five-stage pipeline);
+   the batch smoke test adds "batch". *)
 
 module Json = Util.Metrics.Json
 
@@ -9,6 +11,11 @@ let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
 
 let () =
   let path = Sys.argv.(1) in
+  let layers =
+    if Array.length Sys.argv > 2 then
+      Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2))
+    else [ "eval"; "closure"; "encode"; "sat"; "enum" ]
+  in
   let ic = open_in_bin path in
   let src = really_input_string ic (in_channel_length ic) in
   close_in ic;
@@ -35,4 +42,4 @@ let () =
                && String.sub name 0 (String.length prefix) = prefix)
              counters)
       then fail "%s: no %s.* counter recorded" path layer)
-    [ "eval"; "closure"; "encode"; "sat"; "enum" ]
+    layers

@@ -18,4 +18,5 @@ let () =
       Test_witness.suite;
       Test_trace.suite;
       Test_circuit.suite;
+      Test_batch.suite;
     ]
