@@ -14,7 +14,7 @@ let usage () =
   print_endline
     "usage: main.exe [--scale F] [--tuples N] [--limit N] [--timeout S] \
      [--budget N] [--seed N] [--jobs N] [--stats-out FILE.json] \
-     [table1|fig1|fig2|fig3|fig4|fig5|hardness|ablation|combined|batch|micro|all]...";
+     [table1|fig1|fig2|fig3|fig4|fig5|hardness|ablation|combined|batch|analysis|micro|all]...";
   exit 1
 
 let () =
@@ -69,6 +69,7 @@ let () =
     | "ablation" -> Experiments.ablation ()
     | "combined" -> Experiments.combined ()
     | "batch" -> Experiments.batch ()
+    | "analysis" -> Experiments.analysis ()
     | "micro" -> Micro.run ()
     | "all" ->
       Experiments.table1 ();
@@ -79,6 +80,7 @@ let () =
       Experiments.ablation ();
       Experiments.combined ();
       Experiments.batch ();
+      Experiments.analysis ();
       Micro.run ()
     | other ->
       Printf.eprintf "unknown experiment %S\n" other;

@@ -11,9 +11,15 @@
      whyprov answers  FILE -q tc
      whyprov explain  FILE -q tc -t a,c [--limit N] [--tc-acyclicity]
      whyprov batch    FILE -q tc [-t a,c -t a,d | --all] [--jobs N] [--budget N]
-     whyprov check    FILE -q tc -t a,c -s 'edge(a,b). edge(b,c).' [--variant un]
+     whyprov check    FILE [-q tc] [--format=json] [--deny-warnings]
+     whyprov member   FILE -q tc -t a,c -s 'edge(a,b). edge(b,c).' [--variant un]
      whyprov tree     FILE -q tc -t a,c [--dot]
      whyprov stats    FILE -q tc -t a,c
+
+   check is the static analyzer (docs/ANALYSIS.md): positioned
+   diagnostics with stable WPxxx codes, the program-class report and the
+   encoding-selection decision; explain and batch run it implicitly and
+   refuse programs with errors.
 
    Every command additionally accepts --stats[=json] and
    --stats-out FILE, which enable the pipeline-wide metrics registry
@@ -22,6 +28,7 @@
 
 module D = Datalog
 module P = Provenance
+module A = Whyprov_analysis
 module Metrics = Util.Metrics
 
 (* Enable the metrics registry and register the snapshot emission for
@@ -53,6 +60,29 @@ let setup_stats stats stats_out =
 let load_file path =
   let rules, facts = D.Parser.split (D.Parser.parse_file path) in
   (D.Program.make rules, D.Database.of_list facts)
+
+(* Load for explain/batch: run the static analyzer first. Errors abort
+   with the positioned diagnostics on stderr; warnings are printed (to
+   stderr, keeping stdout diffable) but do not block. *)
+let load_checked ?query path =
+  match D.Parser.parse_raw_file path with
+  | exception D.Parser.Error (pos, msg) ->
+    Format.eprintf "whyprov: %s@." (D.Parser.error_message pos msg);
+    exit 1
+  | raw ->
+    let result = A.Check.check_raw ?query raw in
+    List.iter
+      (fun (d : A.Diagnostic.t) ->
+        if d.A.Diagnostic.severity <> A.Diagnostic.Info then
+          Format.eprintf "%a@." A.Diagnostic.pp d)
+      result.A.Check.diagnostics;
+    (match result.A.Check.program with
+    | None ->
+      Format.eprintf
+        "whyprov: %s has %d error(s); see 'whyprov check %s'@." path
+        result.A.Check.errors path;
+      exit 1
+    | Some program -> (program, D.Database.of_list result.A.Check.facts))
 
 let parse_tuple s = String.split_on_char ',' s |> List.map String.trim
 
@@ -87,7 +117,7 @@ let check_derivable closure fact =
   end
 
 let cmd_explain () path query_pred tuple limit use_tc smallest witness =
-  let program, db = load_file path in
+  let program, db = load_checked ~query:query_pred path in
   let q = P.Explain.query program query_pred in
   let fact = P.Explain.goal q (parse_tuple tuple) in
   let closure = P.Closure.build program db fact in
@@ -106,11 +136,10 @@ let cmd_explain () path query_pred tuple limit use_tc smallest witness =
     loop 1
   end
   else if use_tc || smallest then begin
-    let acyclicity =
-      if use_tc then P.Encode.Transitive_closure else P.Encode.Vertex_elimination
-    in
+    (* No flag: leave the acyclicity choice to the analyzer. *)
+    let acyclicity = if use_tc then Some P.Encode.Transitive_closure else None in
     let enumeration =
-      P.Enumerate.of_closure ~acyclicity ~smallest_first:smallest closure
+      P.Enumerate.of_closure ?acyclicity ~smallest_first:smallest closure
     in
     let members = P.Enumerate.to_list ~limit enumeration in
     List.iteri
@@ -123,7 +152,7 @@ let cmd_explain () path query_pred tuple limit use_tc smallest witness =
   end
 
 let cmd_batch () path query_pred tuples all jobs limit budget =
-  let program, db = load_file path in
+  let program, db = load_checked ~query:query_pred path in
   let q = P.Explain.query program query_pred in
   let explicit = tuples <> [] && not all in
   let spec =
@@ -181,7 +210,22 @@ let cmd_batch () path query_pred tuples all jobs limit budget =
       exit 1
   end
 
-let cmd_check () path query_pred tuple subset variant =
+(* The static analyzer: whyprov check FILE [-q PRED]. Exit status is the
+   contract (docs/ANALYSIS.md): 0 clean or warnings only, 1 on errors or
+   (with --deny-warnings) warnings. *)
+let cmd_analyze () path query format deny_warnings =
+  let result = A.Check.check_file ?query path in
+  (match format with
+  | `Human -> Format.printf "%a" A.Check.pp_human result
+  | `Json ->
+    print_endline (Metrics.Json.to_string (A.Check.to_json ~file:path result)));
+  let failed =
+    result.A.Check.errors > 0
+    || (deny_warnings && result.A.Check.warnings > 0)
+  in
+  exit (if failed then 1 else 0)
+
+let cmd_member () path query_pred tuple subset variant =
   let program, db = load_file path in
   let q = P.Explain.query program query_pred in
   let fact = P.Explain.goal q (parse_tuple tuple) in
@@ -322,7 +366,8 @@ let cmd_repl () path =
           (try handle_atom ~mode (D.Atom.of_fact f) with
            | Invalid_argument msg | Failure msg -> Format.printf "error: %s@." msg)
         | _ -> Format.printf "error: could not parse %S@." body
-        | exception D.Parser.Error msg -> Format.printf "parse error: %s@." msg));
+        | exception D.Parser.Error (pos, msg) ->
+          Format.printf "parse error: %s@." (D.Parser.error_message pos msg)));
       loop ())
   in
   loop ()
@@ -386,6 +431,32 @@ let budget_arg =
 let subset_arg =
   Arg.(required & opt (some string) None & info [ "s"; "subset" ] ~docv:"FACTS" ~doc:"Candidate subset, as 'f(a). g(b).'.")
 
+let opt_query_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "q"; "query" ] ~docv:"PRED"
+        ~doc:
+          "Answer predicate; enables the reachability and derivability \
+           checks (WP101/WP102/WP103) relative to it.")
+
+let format_arg =
+  let fmt = Arg.enum [ ("human", `Human); ("json", `Json) ] in
+  Arg.(
+    value
+    & opt fmt `Human
+    & info [ "format" ] ~docv:"FORMAT"
+        ~doc:
+          "Report format: $(b,human) (one gcc-style line per diagnostic) or \
+           $(b,json) (the whyprov.check/1 document of docs/ANALYSIS.md).")
+
+let deny_warnings_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "deny-warnings" ]
+        ~doc:"Exit 1 when any warning is reported (CI gate).")
+
 let variant_arg =
   Arg.(value & opt string "any" & info [ "variant" ] ~docv:"V" ~doc:"Proof-tree class: any, un, nr or md.")
 
@@ -433,8 +504,20 @@ let batch_cmd =
       $ all_arg $ jobs_arg $ limit_arg $ budget_arg)
 
 let check_cmd =
-  Cmd.v (Cmd.info "check" ~doc:"Decide membership of a subset in the why-provenance")
-    Term.(const cmd_check $ stats_term $ file_arg $ query_arg $ tuple_arg $ subset_arg $ variant_arg)
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Statically analyze a program: positioned diagnostics (stable WPxxx \
+          codes), the program-class report (NRDat/LDat/PwlDat/Dat) and the \
+          encoding-selection decision. Exits 1 on errors, or on warnings \
+          with --deny-warnings.")
+    Term.(
+      const cmd_analyze $ stats_term $ file_arg $ opt_query_arg $ format_arg
+      $ deny_warnings_arg)
+
+let member_cmd =
+  Cmd.v (Cmd.info "member" ~doc:"Decide membership of a subset in the why-provenance")
+    Term.(const cmd_member $ stats_term $ file_arg $ query_arg $ tuple_arg $ subset_arg $ variant_arg)
 
 let tree_cmd =
   Cmd.v (Cmd.info "tree" ~doc:"Print one (minimal-depth) proof tree of an answer")
@@ -451,4 +534,4 @@ let stats_cmd =
 let () =
   let doc = "why-provenance for Datalog queries (PODS 2024 reproduction)" in
   let info = Cmd.info "whyprov" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ answers_cmd; explain_cmd; batch_cmd; check_cmd; tree_cmd; stats_cmd; repl_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ answers_cmd; explain_cmd; batch_cmd; check_cmd; member_cmd; tree_cmd; stats_cmd; repl_cmd ]))

@@ -55,4 +55,30 @@ if dune exec --no-build bin/whyprov.exe -- \
   exit 1
 fi
 
+echo "== analyzer smoke (whyprov check on examples/)"
+# Clean program: exit 0; lint-y program: warnings but exit 0, and exit 1
+# under --deny-warnings; broken program: errors and exit 1 (and
+# explain must refuse it). See docs/ANALYSIS.md.
+dune exec --no-build bin/whyprov.exe -- check examples/reach.dl -q tc > /dev/null
+dune exec --no-build bin/whyprov.exe -- check examples/reach.dl -q tc --format json > /dev/null
+dune exec --no-build bin/whyprov.exe -- check examples/lint.dl -q tc > /dev/null
+if dune exec --no-build bin/whyprov.exe -- \
+     check examples/lint.dl -q tc --deny-warnings > /dev/null 2>&1; then
+  echo "dev-check: check --deny-warnings should exit non-zero on lint.dl" >&2
+  exit 1
+fi
+if dune exec --no-build bin/whyprov.exe -- \
+     check examples/broken.dl > /dev/null 2>&1; then
+  echo "dev-check: check should exit non-zero on broken.dl" >&2
+  exit 1
+fi
+if dune exec --no-build bin/whyprov.exe -- \
+     explain examples/broken.dl -q path -t a,b > /dev/null 2>&1; then
+  echo "dev-check: explain should refuse a program with analyzer errors" >&2
+  exit 1
+fi
+
+# Analyzer over every bundled workload program (zero errors, classified).
+dune exec --no-build test/cli/check_workloads.exe > /dev/null
+
 echo "dev-check: OK"

@@ -1,0 +1,46 @@
+(** Precise classification of a Datalog program into the fragment lattice
+    studied by the paper: the complexity of why-provenance drops from
+    NP-hard (general Dat) to tractable for non-recursive (NRDat) and, for
+    some variants, linear (LDat) programs. Piecewise-linear programs sit
+    between LDat and Dat: every rule recurses through at most one atom of
+    its head's own SCC. *)
+
+open Datalog
+
+type cls =
+  | Nrdat     (** non-recursive: the predicate graph is a DAG *)
+  | Ldat      (** linear: at most one intensional atom per body *)
+  | Pwl_dat   (** piecewise-linear: at most one same-SCC atom per body *)
+  | Dat       (** general recursive Datalog *)
+
+type scc = {
+  preds : Symbol.t list;  (** members, in Tarjan discovery order *)
+  recursive : bool;       (** size > 1, or a self-loop *)
+  stratum : int;          (** 0 for extensional-only components *)
+}
+
+type t = {
+  cls : cls;
+  linear : bool;
+  recursive : bool;
+  piecewise_linear : bool;
+  sccs : scc list;        (** dependencies before dependents *)
+  strata : int;           (** stratification depth: max stratum *)
+  recursive_sccs : int;
+}
+
+val classify : Program.t -> t
+
+val cls_name : cls -> string
+(** Stable short name: ["NRDat"], ["LDat"], ["PwlDat"], ["Dat"]. *)
+
+val cls_describe : cls -> string
+(** Human phrase, e.g. ["piecewise-linear recursive"]. *)
+
+val summary : t -> string
+(** One-line report, e.g.
+    ["LDat (linear recursive; linear; 2 strata; 1 recursive SCC)"]. *)
+
+val cycle_witness : Program.t -> Symbol.t list -> Symbol.t list option
+(** [cycle_witness program scc_preds] returns a predicate cycle
+    [p1; ...; pn; p1] inside the given SCC, for diagnostics. *)

@@ -1,0 +1,42 @@
+open Datalog
+
+type severity =
+  | Error
+  | Warning
+  | Info
+
+type t = {
+  code : string;
+  severity : severity;
+  pos : Pos.t;
+  message : string;
+}
+
+let make ~code ~severity ?(pos = Pos.none) message =
+  { code; severity; pos; message }
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare d1 d2 =
+  let c = Pos.compare d1.pos d2.pos in
+  if c <> 0 then c
+  else
+    let c = Int.compare (severity_rank d1.severity) (severity_rank d2.severity) in
+    if c <> 0 then c
+    else
+      let c = String.compare d1.code d2.code in
+      if c <> 0 then c else String.compare d1.message d2.message
+
+let pp ppf d =
+  if Pos.is_none d.pos then
+    Format.fprintf ppf "%s[%s]: %s" (severity_name d.severity) d.code d.message
+  else
+    Format.fprintf ppf "%a: %s[%s]: %s" Pos.pp d.pos (severity_name d.severity)
+      d.code d.message
+
+let to_string d = Format.asprintf "%a" pp d

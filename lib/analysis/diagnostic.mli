@@ -1,0 +1,34 @@
+(** Structured analyzer findings: a stable code, a severity, a source
+    position and a human message.
+
+    Codes are part of the CLI contract (docs/ANALYSIS.md): [WP0xx] are
+    errors, [WP1xx] warnings, [WP2xx] informational notes. A code never
+    changes meaning; new checks get new codes. *)
+
+open Datalog
+
+type severity =
+  | Error    (** the program cannot be run; [whyprov check] exits 1 *)
+  | Warning  (** suspicious but runnable; exit 1 under [--deny-warnings] *)
+  | Info     (** structural notes (e.g. recursive SCCs); never affects the exit code *)
+
+type t = {
+  code : string;
+  severity : severity;
+  pos : Pos.t;
+  message : string;
+}
+
+val make : code:string -> severity:severity -> ?pos:Pos.t -> string -> t
+
+val severity_name : severity -> string
+(** ["error"], ["warning"], ["info"] — also the JSON encoding. *)
+
+val compare : t -> t -> int
+(** Source order: position, then severity, then code. *)
+
+val pp : Format.formatter -> t -> unit
+(** [FILE:LINE:COL: severity[CODE]: message] (position omitted when
+    unknown) — the human rendering of [whyprov check]. *)
+
+val to_string : t -> string

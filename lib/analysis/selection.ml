@@ -1,0 +1,79 @@
+open Datalog
+module Metrics = Util.Metrics
+
+let m_plans = Metrics.counter "analysis.plans"
+let m_skip_acyclic = Metrics.counter "analysis.selection.skip_acyclicity"
+let m_keep_acyclic = Metrics.counter "analysis.selection.keep_acyclicity"
+let m_fo_eligible = Metrics.counter "analysis.selection.fo_eligible"
+
+type t = {
+  classification : Classify.t;
+  skip_acyclicity : bool;
+  fo_eligible : bool;
+  reason : string;
+}
+
+(* The FO rewriting (Fo_rewrite) unfolds the program into a union of
+   conjunctive queries; it requires a non-recursive, constant-free
+   program and its size is exponential in the unfolding depth, so gate
+   it on a small rule count. *)
+let max_fo_rules = 16
+
+let constant_free program =
+  let atom_ok (a : Atom.t) =
+    Array.for_all
+      (fun t -> match t with Term.Var _ -> true | Term.Const _ -> false)
+      a.Atom.args
+  in
+  List.for_all
+    (fun r -> atom_ok (Rule.head r) && List.for_all atom_ok (Rule.body r))
+    (Program.rules program)
+
+let compute program =
+  let classification = Classify.classify program in
+  let skip_acyclicity = not classification.Classify.recursive in
+  let fo_eligible =
+    skip_acyclicity && constant_free program
+    && List.length (Program.rules program) <= max_fo_rules
+  in
+  let reason =
+    if skip_acyclicity then
+      Printf.sprintf
+        "%s: every proof DAG is acyclic, acyclicity clauses dropped%s"
+        (Classify.cls_name classification.Classify.cls)
+        (if fo_eligible then "; FO-rewrite eligible" else "")
+    else
+      Printf.sprintf "%s: recursive, acyclicity encoding required"
+        (Classify.cls_name classification.Classify.cls)
+  in
+  { classification; skip_acyclicity; fo_eligible; reason }
+
+(* Encode.make consults the plan once per CNF build and batch workers
+   encode on separate domains, so memoize per program by physical
+   identity behind an atomic. Lost updates only cost a recomputation. *)
+let cache : (Program.t * t) list Atomic.t = Atomic.make []
+let cache_limit = 16
+
+let plan program =
+  Metrics.incr m_plans;
+  let result =
+    match List.find_opt (fun (p, _) -> p == program) (Atomic.get cache) with
+    | Some (_, plan) -> plan
+    | None ->
+      let plan = compute program in
+      let entries = (program, plan) :: Atomic.get cache in
+      let entries =
+        if List.length entries > cache_limit then
+          List.filteri (fun i _ -> i < cache_limit) entries
+        else entries
+      in
+      Atomic.set cache entries;
+      plan
+  in
+  if result.skip_acyclicity then Metrics.incr m_skip_acyclic
+  else Metrics.incr m_keep_acyclic;
+  if result.fo_eligible then Metrics.incr m_fo_eligible;
+  result
+
+let skip_acyclicity program = (plan program).skip_acyclicity
+let fo_eligible program = (plan program).fo_eligible

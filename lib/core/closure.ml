@@ -162,6 +162,33 @@ let db_facts t = t.db_in_closure
 let mem_node t fact = Fact.Table.mem t.node_table fact
 let derivable t = t.derivable
 
+exception Cyclic
+
+let graph_acyclic t =
+  (* The candidate edge set exactly as the encoder sees it: one edge
+     head → target per hyperedge, with self-loop hyperedges (head ∈
+     targets) excluded, because [Encode.make] prunes those. If this
+     graph is a DAG, every subset of the z-edges is acyclic and the
+     acyclicity clauses of the encoding are tautological. *)
+  let state : int Fact.Table.t = Fact.Table.create 256 in
+  (* 1 = on the DFS stack, 2 = done *)
+  let rec visit f =
+    match Fact.Table.find_opt state f with
+    | Some 1 -> raise Cyclic
+    | Some _ -> ()
+    | None ->
+      Fact.Table.replace state f 1;
+      List.iter
+        (fun e ->
+          if not (List.exists (Fact.equal e.head) e.targets) then
+            List.iter visit e.targets)
+        (hyperedges_of t f);
+      Fact.Table.replace state f 2
+  in
+  match List.iter visit t.node_list with
+  | () -> true
+  | exception Cyclic -> false
+
 let pp_stats ppf t =
   Format.fprintf ppf "closure of %a: %d nodes, %d hyperedges, %d db facts"
     Fact.pp t.root (num_nodes t) t.n_edges

@@ -84,4 +84,13 @@ val mem_node : t -> Fact.t -> bool
 val derivable : t -> bool
 (** [true] iff the root is actually derivable ([root ∈ Σ(D)]). *)
 
+val graph_acyclic : t -> bool
+(** [true] iff the candidate edge set of the closure — one edge
+    [head → target] per hyperedge, self-loop hyperedges excluded, i.e.
+    exactly the edges the encoder materializes as [z] variables — forms
+    a DAG. Then every model of the encoding is acyclic by construction
+    and φ_acyclic can be dropped. Always true for non-recursive
+    programs; may also hold for recursive programs on acyclic data
+    (rank-bounded closures). *)
+
 val pp_stats : Format.formatter -> t -> unit

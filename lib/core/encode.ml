@@ -21,10 +21,24 @@ let m_clauses_proof = Metrics.counter "encode.clauses.proof"
 let m_clauses_acyclic = Metrics.counter "encode.clauses.acyclic"
 let m_fill_edges = Metrics.counter "encode.fill_edges"
 let m_elim_width = Metrics.histogram "encode.elim_width"
+let m_acyclic_skipped = Metrics.counter "encode.acyclicity.skipped"
+let m_acyclic_emitted = Metrics.counter "encode.acyclicity.emitted"
 
 type acyclicity =
   | Transitive_closure
   | Vertex_elimination
+  | No_acyclicity
+
+(* Analysis-driven default: φ_acyclic is tautological (and therefore
+   dropped) when the program is non-recursive — then the rule-instance
+   graph of every database is a DAG — or when this specific closure's
+   candidate edge set is one (recursive program, acyclic data). *)
+let select_acyclicity closure =
+  if
+    Whyprov_analysis.Selection.skip_acyclicity (Closure.program closure)
+    || Closure.graph_acyclic closure
+  then No_acyclicity
+  else Vertex_elimination
 
 exception Too_large of string
 
@@ -56,10 +70,18 @@ type elimination_order =
   | Min_degree
   | Input_order
 
-let make ?(acyclicity = Vertex_elimination) ?(elimination_order = Min_degree)
+let make ?acyclicity ?(elimination_order = Min_degree)
     ?(max_fill = max_int) ?(capture = false) ?(proof_logging = false) closure =
   Metrics.time m_encode_time @@ fun () ->
   Metrics.incr m_encodes;
+  let acyclicity =
+    match acyclicity with
+    | Some a -> a
+    | None -> select_acyclicity closure
+  in
+  (match acyclicity with
+  | No_acyclicity -> Metrics.incr m_acyclic_skipped
+  | Transitive_closure | Vertex_elimination -> Metrics.incr m_acyclic_emitted);
   let solver = Sat.Solver.create () in
   if proof_logging then Sat.Solver.enable_proof_logging solver;
   let nclauses = ref 0 in
@@ -226,6 +248,11 @@ let make ?(acyclicity = Vertex_elimination) ?(elimination_order = Min_degree)
   let elimination_width = ref 0 in
   let fill_edges = ref 0 in
   (match acyclicity with
+  | No_acyclicity ->
+    (* Sound only when every candidate edge subset is acyclic — the
+       condition [select_acyclicity] establishes; forcing it otherwise
+       would admit cyclic "supports" that prove nothing. *)
+    ()
   | Transitive_closure ->
     (* t_(i,j) for every ordered pair over nodes incident to edges. *)
     let tvar : (int, int) Pair_table.t = Pair_table.create 1024 in

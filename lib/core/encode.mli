@@ -11,13 +11,23 @@
       encoding (the one used in the correctness proof);
     - [Vertex_elimination]: the Rankooh–Rintanen (AAAI 2022) encoding the
       paper's implementation uses, with a min-degree elimination order;
-      needs O(n·δ) variables where δ is the elimination width. *)
+      needs O(n·δ) variables where δ is the elimination width.
+
+    A third option, [No_acyclicity], emits no φ_acyclic clauses at all.
+    It is selected automatically (never forced) when the static analyzer
+    proves every candidate model acyclic: the program is non-recursive
+    ({!Whyprov_analysis.Selection.skip_acyclicity}), or this closure's
+    candidate edge set is already a DAG ({!Closure.graph_acyclic}). *)
 
 open Datalog
 
 type acyclicity =
   | Transitive_closure
   | Vertex_elimination
+  | No_acyclicity
+      (** skip φ_acyclic entirely — sound only when every subset of the
+          candidate edges is acyclic; pass it explicitly at your own
+          risk, or omit [?acyclicity] to let the analyzer decide *)
 
 exception Too_large of string
 (** Raised when [max_fill] is exceeded during vertex elimination — the
@@ -39,6 +49,11 @@ val make :
   Closure.t ->
   t
 (** Builds the formula and loads it into a fresh solver.
+    When [acyclicity] is omitted, the choice is analysis-driven:
+    [No_acyclicity] if the program is non-recursive or the closure's
+    candidate graph is a DAG, [Vertex_elimination] otherwise. The
+    decision is counted under [encode.acyclicity.skipped] /
+    [encode.acyclicity.emitted].
     [max_fill] bounds the number of fill edges created by vertex
     elimination (default: unlimited); [capture] additionally retains the
     clause list (for DIMACS export and the DPLL ablation);

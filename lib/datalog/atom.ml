@@ -1,9 +1,10 @@
 type t = {
   pred : Symbol.t;
   args : Term.t array;
+  pos : Pos.t;
 }
 
-let make pred args = { pred; args }
+let make ?(pos = Pos.none) pred args = { pred; args; pos }
 
 let term_of_string s =
   if String.equal s "_" then Term.Var (Symbol.fresh "_")
@@ -13,7 +14,8 @@ let term_of_string s =
 
 let of_strings pred args =
   { pred = Symbol.intern pred;
-    args = Array.of_list (List.map term_of_string args) }
+    args = Array.of_list (List.map term_of_string args);
+    pos = Pos.none }
 
 let arity a = Array.length a.args
 
@@ -41,7 +43,9 @@ let to_fact a =
   Fact.make a.pred (Array.map const_of a.args)
 
 let of_fact f =
-  { pred = Fact.pred f; args = Array.map (fun c -> Term.Const c) (Fact.args f) }
+  { pred = Fact.pred f;
+    args = Array.map (fun c -> Term.Const c) (Fact.args f);
+    pos = Pos.none }
 
 let apply subst a =
   let args =

@@ -3,9 +3,12 @@
 type t = {
   pred : Symbol.t;
   args : Term.t array;
+  pos : Pos.t;  (** source position of the predicate token; {!Pos.none}
+                    for programmatically built atoms. Ignored by
+                    {!equal} and {!compare}. *)
 }
 
-val make : Symbol.t -> Term.t array -> t
+val make : ?pos:Pos.t -> Symbol.t -> Term.t array -> t
 val of_strings : string -> string list -> t
 (** Argument strings starting with an uppercase letter (or ['_']) become
     variables; anything else becomes a constant. ["_"] becomes a fresh

@@ -1,8 +1,19 @@
-exception Error of string
+exception Error of Pos.t * string
+
+let error pos msg = raise (Error (pos, msg))
+
+let error_message pos msg =
+  if Pos.is_none pos then msg else Pos.to_string pos ^ ": " ^ msg
 
 type clause =
   | Clause_rule of Rule.t
   | Clause_fact of Fact.t
+
+type raw_clause = {
+  raw_head : Atom.t;
+  raw_body : Atom.t list;
+  raw_pos : Pos.t;
+}
 
 type token =
   | Ident of string
@@ -16,13 +27,13 @@ type token =
 
 type lexer = {
   src : string;
+  file : string;
   mutable pos : int;
   mutable line : int;
   mutable col : int;
 }
 
-let fail lx msg =
-  raise (Error (Printf.sprintf "line %d, column %d: %s" lx.line lx.col msg))
+let pos_of lx = Pos.make ~file:lx.file ~line:lx.line ~col:lx.col ()
 
 let peek_char lx =
   if lx.pos >= String.length lx.src then None else Some lx.src.[lx.pos]
@@ -59,61 +70,75 @@ let rec skip_ws lx =
     skip_ws lx
   | _ -> ()
 
+(* Returns the token together with the position of its first character,
+   so that parse errors and parsed atoms point at the token start (not
+   at wherever the lexer stopped). *)
 let next_token lx =
   skip_ws lx;
-  match peek_char lx with
-  | None -> Eof
-  | Some '(' -> advance lx; Lparen
-  | Some ')' -> advance lx; Rparen
-  | Some ',' -> advance lx; Comma
-  | Some '.' -> advance lx; Dot
-  | Some ':' ->
-    advance lx;
-    (match peek_char lx with
-    | Some '-' -> advance lx; Turnstile
-    | _ -> fail lx "expected '-' after ':'")
-  | Some '\'' ->
-    advance lx;
-    let start = lx.pos in
-    let rec to_quote () =
-      match peek_char lx with
-      | Some '\'' -> ()
-      | Some _ -> advance lx; to_quote ()
-      | None -> fail lx "unterminated quoted constant"
-    in
-    to_quote ();
-    let s = String.sub lx.src start (lx.pos - start) in
-    advance lx;
-    Quoted s
-  | Some c when is_ident_char c ->
-    let start = lx.pos in
-    let rec consume () =
-      match peek_char lx with
-      | Some c when is_ident_char c -> advance lx; consume ()
-      | _ -> ()
-    in
-    consume ();
-    Ident (String.sub lx.src start (lx.pos - start))
-  | Some c -> fail lx (Printf.sprintf "unexpected character %C" c)
+  let start = pos_of lx in
+  let token =
+    match peek_char lx with
+    | None -> Eof
+    | Some '(' -> advance lx; Lparen
+    | Some ')' -> advance lx; Rparen
+    | Some ',' -> advance lx; Comma
+    | Some '.' -> advance lx; Dot
+    | Some ':' ->
+      advance lx;
+      (match peek_char lx with
+      | Some '-' -> advance lx; Turnstile
+      | _ -> error start "expected '-' after ':'")
+    | Some '\'' ->
+      advance lx;
+      let first = lx.pos in
+      let rec to_quote () =
+        match peek_char lx with
+        | Some '\'' -> ()
+        | Some _ -> advance lx; to_quote ()
+        | None -> error start "unterminated quoted constant"
+      in
+      to_quote ();
+      let s = String.sub lx.src first (lx.pos - first) in
+      advance lx;
+      Quoted s
+    | Some c when is_ident_char c ->
+      let first = lx.pos in
+      let rec consume () =
+        match peek_char lx with
+        | Some c when is_ident_char c -> advance lx; consume ()
+        | _ -> ()
+      in
+      consume ();
+      Ident (String.sub lx.src first (lx.pos - first))
+    | Some c -> error start (Printf.sprintf "unexpected character %C" c)
+  in
+  (token, start)
 
 type parser_state = {
   lx : lexer;
   mutable tok : token;
+  mutable tok_pos : Pos.t;  (* position of the first character of [tok] *)
 }
 
-let bump st = st.tok <- next_token st.lx
+let bump st =
+  let tok, pos = next_token st.lx in
+  st.tok <- tok;
+  st.tok_pos <- pos
 
+let fail_at st msg = error st.tok_pos msg
 
 let term_of st = function
   | Ident "_" -> Term.Var (Symbol.fresh "_")
   | Ident s when s.[0] = '_' || (s.[0] >= 'A' && s.[0] <= 'Z') -> Term.var s
   | Ident s -> Term.const s
   | Quoted s -> Term.const s
-  | _ -> fail st.lx "expected a term"
+  | Eof -> fail_at st "expected a term, found end of input (unterminated atom?)"
+  | _ -> fail_at st "expected a term"
 
 let parse_atom st =
   match st.tok with
   | Ident name ->
+    let atom_pos = st.tok_pos in
     bump st;
     if st.tok = Lparen then begin
       bump st;
@@ -127,20 +152,23 @@ let parse_atom st =
         | Rparen ->
           bump st;
           List.rev (t :: acc)
-        | _ -> fail st.lx "expected ',' or ')' in argument list"
+        | Eof ->
+          fail_at st "expected ',' or ')' in argument list, found end of input (unterminated atom?)"
+        | _ -> fail_at st "expected ',' or ')' in argument list"
       in
-      Atom.make (Symbol.intern name) (Array.of_list (terms []))
+      Atom.make ~pos:atom_pos (Symbol.intern name) (Array.of_list (terms []))
     end
-    else Atom.make (Symbol.intern name) [||]
-  | _ -> fail st.lx "expected a predicate name"
+    else Atom.make ~pos:atom_pos (Symbol.intern name) [||]
+  | Eof -> fail_at st "expected a predicate name, found end of input"
+  | _ -> fail_at st "expected a predicate name"
 
-let parse_clause st =
+let parse_raw_clause st =
+  let clause_pos = st.tok_pos in
   let head = parse_atom st in
   match st.tok with
   | Dot ->
     bump st;
-    if Atom.is_ground head then Clause_fact (Atom.to_fact head)
-    else fail st.lx "fact with variables (a bodyless clause must be ground)"
+    { raw_head = head; raw_body = []; raw_pos = clause_pos }
   | Turnstile ->
     bump st;
     let rec atoms acc =
@@ -152,30 +180,51 @@ let parse_clause st =
       | Dot ->
         bump st;
         List.rev (a :: acc)
-      | _ -> fail st.lx "expected ',' or '.' after body atom"
+      | Eof ->
+        fail_at st "expected ',' or '.' after body atom, found end of input"
+      | _ -> fail_at st "expected ',' or '.' after body atom"
     in
-    let body = atoms [] in
-    (try Clause_rule (Rule.make head body)
-     with Invalid_argument msg -> fail st.lx msg)
-  | _ -> fail st.lx "expected '.' or ':-' after head atom"
+    { raw_head = head; raw_body = atoms []; raw_pos = clause_pos }
+  | _ -> fail_at st "expected '.' or ':-' after head atom"
 
-let parse_string src =
-  let lx = { src; pos = 0; line = 1; col = 1 } in
-  let st = { lx; tok = Eof } in
+let raw_of_lexer lx =
+  let st = { lx; tok = Eof; tok_pos = Pos.none } in
   bump st;
   let rec clauses acc =
     match st.tok with
     | Eof -> List.rev acc
-    | _ -> clauses (parse_clause st :: acc)
+    | _ -> clauses (parse_raw_clause st :: acc)
   in
   clauses []
 
-let parse_file path =
+let parse_raw ?(file = "") src =
+  raw_of_lexer { src; file; pos = 0; line = 1; col = 1 }
+
+let read_file path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
   let src = really_input_string ic n in
   close_in ic;
-  parse_string src
+  src
+
+let parse_raw_file path = parse_raw ~file:path (read_file path)
+
+(* Validating elaboration of a raw clause: bodyless clauses must be
+   ground (facts), rules must be safe. The static analyzer performs the
+   same checks on the raw form, reporting diagnostics instead of
+   raising. *)
+let clause_of_raw raw =
+  if raw.raw_body = [] then
+    if Atom.is_ground raw.raw_head then Clause_fact (Atom.to_fact raw.raw_head)
+    else error raw.raw_pos "fact with variables (a bodyless clause must be ground)"
+  else
+    match Rule.make_checked ~pos:raw.raw_pos raw.raw_head raw.raw_body with
+    | Ok rule -> Clause_rule rule
+    | Error msg -> error raw.raw_pos msg
+
+let parse_string ?file src = List.map clause_of_raw (parse_raw ?file src)
+
+let parse_file path = List.map clause_of_raw (parse_raw_file path)
 
 let split clauses =
   let rules, facts =

@@ -11,17 +11,45 @@
     Identifiers starting with an uppercase letter or ['_'] are variables;
     identifiers starting with a lowercase letter or a digit, integers, and
     single-quoted strings are constants. A bare ['_'] is an anonymous
-    variable (fresh at each occurrence). *)
+    variable (fresh at each occurrence).
 
-exception Error of string
-(** Raised on syntax errors, with a message including line/column. *)
+    Two entry levels are provided. The {e raw} level
+    ({!parse_raw}/{!parse_raw_file}) only enforces the grammar and
+    returns positioned head/body clauses — unsafe rules and non-ground
+    facts pass through, so the static analyzer
+    ({!Whyprov_analysis.Check}) can report them as diagnostics. The
+    {e validating} level ({!parse_string}/{!parse_file}) additionally
+    elaborates to {!Rule.t}/{!Fact.t}, raising on malformed clauses. *)
+
+exception Error of Pos.t * string
+(** Raised on syntax errors (both levels) and on validation errors
+    (validating level), with the position of the offending token or
+    clause. *)
+
+val error_message : Pos.t -> string -> string
+(** ["file:line:col: msg"] (position prefix omitted when unknown) —
+    the display form of an {!Error}. *)
 
 type clause =
   | Clause_rule of Rule.t
   | Clause_fact of Fact.t
 
-val parse_string : string -> clause list
-(** @raise Error on malformed input. *)
+type raw_clause = {
+  raw_head : Atom.t;
+  raw_body : Atom.t list;  (** [[]] for a bodyless clause (fact candidate) *)
+  raw_pos : Pos.t;         (** position of the clause's first token *)
+}
+
+val parse_raw : ?file:string -> string -> raw_clause list
+(** Grammar-only parse; atoms and clauses carry positions ([file] is
+    recorded in them). @raise Error on lexical/grammatical input errors. *)
+
+val parse_raw_file : string -> raw_clause list
+(** @raise Error on malformed input; @raise Sys_error on I/O failure. *)
+
+val parse_string : ?file:string -> string -> clause list
+(** @raise Error on malformed input (including unsafe rules and
+    non-ground bodyless clauses). *)
 
 val parse_file : string -> clause list
 (** @raise Error on malformed input; @raise Sys_error on I/O failure. *)

@@ -1,0 +1,28 @@
+type t = {
+  file : string;
+  line : int;
+  col : int;
+}
+
+let none = { file = ""; line = 0; col = 0 }
+
+let make ?(file = "") ~line ~col () = { file; line; col }
+
+let is_none p = p.line = 0
+
+let equal p1 p2 =
+  String.equal p1.file p2.file && p1.line = p2.line && p1.col = p2.col
+
+let compare p1 p2 =
+  let c = Int.compare p1.line p2.line in
+  if c <> 0 then c
+  else
+    let c = Int.compare p1.col p2.col in
+    if c <> 0 then c else String.compare p1.file p2.file
+
+let pp ppf p =
+  if is_none p then Format.pp_print_string ppf "<unknown>"
+  else if p.file = "" then Format.fprintf ppf "line %d, column %d" p.line p.col
+  else Format.fprintf ppf "%s:%d:%d" p.file p.line p.col
+
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,30 @@
+(** Source positions.
+
+    Parsed atoms, rules and facts carry the position of their first
+    token, so that diagnostics ({!Parser.Error}, the static analyzer)
+    can point at the offending [file:line:col]. Positions are carried
+    alongside the syntax — they never participate in equality or
+    comparison of atoms and rules. *)
+
+type t = {
+  file : string;  (** [""] when the source is an anonymous string *)
+  line : int;     (** 1-based; [0] in {!none} *)
+  col : int;      (** 1-based column of the first character *)
+}
+
+val none : t
+(** The absent position (programmatically built syntax). *)
+
+val make : ?file:string -> line:int -> col:int -> unit -> t
+
+val is_none : t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Orders by line, then column, then file. *)
+
+val pp : Format.formatter -> t -> unit
+(** ["file:line:col"], ["line L, column C"] without a file, and
+    ["<unknown>"] for {!none}. *)
+
+val to_string : t -> string

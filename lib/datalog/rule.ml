@@ -2,6 +2,7 @@ type t = {
   head : Atom.t;
   body : Atom.t list;
   id : int;
+  pos : Pos.t;
 }
 
 let vars_of_atoms atoms =
@@ -19,24 +20,30 @@ let vars_of_atoms atoms =
     atoms;
   List.rev !acc
 
-let make ?(id = -1) head body =
-  if body = [] then invalid_arg "Rule.make: empty body";
+let unsafe_vars head body =
   let body_vars = vars_of_atoms body in
-  let unsafe =
-    List.filter (fun v -> not (List.mem v body_vars)) (Atom.vars head)
-  in
-  (match unsafe with
-  | [] -> ()
-  | v :: _ ->
-    invalid_arg
-      (Printf.sprintf "Rule.make: unsafe rule, head variable %s not in body"
-         (Symbol.name v)));
-  { head; body; id }
+  List.filter (fun v -> not (List.mem v body_vars)) (Atom.vars head)
+
+let make_checked ?(id = -1) ?(pos = Pos.none) head body =
+  if body = [] then Error "empty rule body"
+  else
+    match unsafe_vars head body with
+    | [] -> Ok { head; body; id; pos }
+    | v :: _ ->
+      Error
+        (Printf.sprintf "unsafe rule: head variable %s does not occur in the body"
+           (Symbol.name v))
+
+let make ?(id = -1) ?(pos = Pos.none) head body =
+  match make_checked ~id ~pos head body with
+  | Ok r -> r
+  | Error msg -> invalid_arg ("Rule.make: " ^ msg)
 
 let with_id id r = { r with id }
 
 let head r = r.head
 let body r = r.body
+let pos r = r.pos
 let vars r = vars_of_atoms (r.body @ [ r.head ])
 
 let equal r1 r2 =

@@ -4,17 +4,29 @@ type t = private {
   head : Atom.t;
   body : Atom.t list;  (** non-empty *)
   id : int;            (** position of the rule in its program; -1 if free-standing *)
+  pos : Pos.t;         (** source position; {!Pos.none} if built in code.
+                           Ignored by {!equal}. *)
 }
 
-val make : ?id:int -> Atom.t -> Atom.t list -> t
+val make : ?id:int -> ?pos:Pos.t -> Atom.t -> Atom.t list -> t
 (** Builds a rule after checking safety: every variable of the head must
     occur in the body.
     @raise Invalid_argument if the rule is unsafe or the body is empty. *)
+
+val make_checked : ?id:int -> ?pos:Pos.t -> Atom.t -> Atom.t list -> (t, string) result
+(** Non-raising constructor for front ends: [Error message] instead of
+    an exception on unsafe rules and empty bodies, so malformed input
+    surfaces as a positioned diagnostic rather than a backtrace. *)
+
+val unsafe_vars : Atom.t -> Atom.t list -> Symbol.t list
+(** The head variables that do not occur in the body — non-empty exactly
+    when the clause is unsafe. Exposed for the static analyzer. *)
 
 val with_id : int -> t -> t
 
 val head : t -> Atom.t
 val body : t -> Atom.t list
+val pos : t -> Pos.t
 val vars : t -> Symbol.t list
 (** All variables of the rule, in order of first occurrence (body first). *)
 

@@ -1,0 +1,35 @@
+(* Analyzer smoke over every bundled workload program: the static
+   analyzer must accept each one (zero errors) and classify it without
+   raising. Run by dune runtest and by dev-check.sh. *)
+
+module D = Datalog
+module W = Workloads
+module A = Whyprov_analysis
+
+let () =
+  let failures = ref 0 in
+  let check (s : W.Scenario.t) =
+    let query = D.Symbol.name s.W.Scenario.answer_pred in
+    let r = A.Check.check_program ~query s.W.Scenario.program in
+    match r.A.Check.errors with
+    | 0 ->
+      let cls =
+        match r.A.Check.classification with
+        | Some c -> A.Classify.summary c
+        | None -> "unclassified"
+      in
+      Printf.printf "%s: ok — %s\n" s.W.Scenario.name cls
+    | n ->
+      incr failures;
+      Printf.eprintf "%s: %d analyzer error(s)\n" s.W.Scenario.name n;
+      List.iter
+        (fun d -> Printf.eprintf "  %s\n" (A.Diagnostic.to_string d))
+        r.A.Check.diagnostics
+  in
+  List.iter check
+    (W.Transclosure.scenario ()
+     :: W.Csda.scenario ()
+     :: W.Galen.scenario ()
+     :: W.Andersen.scenario ()
+     :: W.Doctors.scenarios ~scale:0.01 ());
+  exit (if !failures > 0 then 1 else 0)

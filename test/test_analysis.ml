@@ -1,0 +1,421 @@
+(* Tests for the static analyzer (lib/analysis): diagnostic codes, the
+   classifier lattice, analysis-driven encoding selection, and the
+   differential guarantees the selection layer rests on — dropping the
+   acyclicity clauses or taking the FO-rewrite fast path must never
+   change the enumerated why-provenance. *)
+
+module D = Datalog
+module P = Provenance
+module W = Workloads
+module A = Whyprov_analysis
+
+let parse_program src = fst (D.Parser.program_of_string src)
+
+let codes (r : A.Check.result) =
+  List.map (fun (d : A.Diagnostic.t) -> d.A.Diagnostic.code) r.A.Check.diagnostics
+
+let has_code r code = List.mem code (codes r)
+
+let check ?query src = A.Check.check_string ?query ~file:"t.dl" src
+
+(* --- Diagnostic codes --------------------------------------------------- *)
+
+let test_error_codes () =
+  let expect_error src code =
+    let r = check src in
+    Alcotest.(check bool) (code ^ " fires") true (has_code r code);
+    Alcotest.(check bool) (code ^ " is an error") true (r.A.Check.errors > 0);
+    Alcotest.(check bool) (code ^ " blocks the program") true
+      (r.A.Check.program = None);
+    Alcotest.(check bool) (code ^ " fails ok") false (A.Check.ok r)
+  in
+  expect_error "tc(a" "WP000";
+  expect_error "p(X,Z) :- e(X,Y). e(a,b)." "WP001";
+  expect_error "e(X,b). p(X) :- e(X,Y)." "WP002";
+  expect_error "p(X) :- e(X,Y). e(a,b,c)." "WP003";
+  expect_error "p(X) :- e(X,Y). p(a)." "WP004";
+  let r = check ~query:"nosuch" "p(X) :- e(X,Y). e(a,b)." in
+  Alcotest.(check bool) "WP005 fires" true (has_code r "WP005")
+
+let test_warning_codes () =
+  let expect_warning ?query src code =
+    let r = check ?query src in
+    Alcotest.(check bool) (code ^ " fires") true (has_code r code);
+    Alcotest.(check int) (code ^ " no errors") 0 r.A.Check.errors;
+    Alcotest.(check bool) (code ^ " ok but not clean") true
+      (A.Check.ok r && not (A.Check.clean r))
+  in
+  expect_warning ~query:"p"
+    "p(X) :- e(X). q(X) :- e(X). e(a). unused(b)." "WP101";
+  expect_warning ~query:"p" "p(X) :- e(X), f(X). e(a)." "WP102";
+  expect_warning ~query:"p" "p(X) :- e(X). q(X) :- e(X). e(a)." "WP103";
+  expect_warning ~query:"p" "p(X) :- e(X). p(Y) :- e(Y). e(a)." "WP104";
+  expect_warning ~query:"p" "p(X) :- e(X). p(X) :- e(X), f(X). e(a). f(a)."
+    "WP105";
+  expect_warning ~query:"p" "p(X,Y) :- e(X), f(Y). e(a). f(b)." "WP106";
+  expect_warning ~query:"p" "p(X) :- e(X,Y). e(a,b)." "WP107"
+
+let test_info_recursive_scc () =
+  let r = check ~query:"tc" "tc(X,Y) :- e(X,Y). tc(X,Z) :- tc(X,Y), e(Y,Z). e(a,b)." in
+  Alcotest.(check bool) "WP201 fires" true (has_code r "WP201");
+  Alcotest.(check int) "info counted" 1 r.A.Check.infos;
+  (* informational only: still clean *)
+  Alcotest.(check bool) "clean despite info" true (A.Check.clean r)
+
+let test_underscore_exempt () =
+  (* '_'-prefixed and anonymous variables never trigger WP107 *)
+  let r = check ~query:"p" "p(X) :- e(X,_), f(X,_Y). e(a,b). f(a,c)." in
+  Alcotest.(check bool) "no WP107" false (has_code r "WP107");
+  Alcotest.(check bool) "clean" true (A.Check.clean r)
+
+let test_diagnostics_sorted_and_positioned () =
+  let r = check ~query:"p" "p(X) :- e(X).\nq(X) :- e(X).\nr(X) :- e(X).\ne(a)." in
+  let positions =
+    List.filter_map
+      (fun (d : A.Diagnostic.t) ->
+        if D.Pos.is_none d.A.Diagnostic.pos then None
+        else Some (d.A.Diagnostic.pos.D.Pos.line, d.A.Diagnostic.pos.D.Pos.col))
+      r.A.Check.diagnostics
+  in
+  let sorted = List.sort compare positions in
+  Alcotest.(check bool) "sorted by position" true (positions = sorted);
+  Alcotest.(check bool) "has positioned diagnostics" true (positions <> [])
+
+let test_check_program_entry () =
+  (* check_program: stage-2 only, for programs built in code *)
+  let program = parse_program "p(X) :- e(X). q(X) :- e(X)." in
+  let r = A.Check.check_program ~query:"p" program in
+  Alcotest.(check int) "no errors" 0 r.A.Check.errors;
+  Alcotest.(check bool) "WP103 from stage 2" true (has_code r "WP103");
+  let r = A.Check.check_program ~query:"e" program in
+  Alcotest.(check bool) "WP005 on edb query" true (has_code r "WP005")
+
+(* --- Rule.make_checked -------------------------------------------------- *)
+
+let test_make_checked () =
+  let atom name args =
+    D.Atom.make (D.Symbol.intern name)
+      (Array.of_list (List.map (fun v -> D.Term.var v) args))
+  in
+  (match D.Rule.make_checked (atom "p" [ "X" ]) [ atom "e" [ "X" ] ] with
+  | Ok rule ->
+    Alcotest.(check string) "rule prints" "p(X) :- e(X)."
+      (D.Rule.to_string rule)
+  | Error msg -> Alcotest.failf "safe rule rejected: %s" msg);
+  (match D.Rule.make_checked (atom "p" [ "X"; "Z" ]) [ atom "e" [ "X" ] ] with
+  | Ok _ -> Alcotest.fail "unsafe rule accepted"
+  | Error msg ->
+    Alcotest.(check bool) "mentions the variable" true
+      (String.length msg > 0));
+  match D.Rule.make_checked (atom "p" [ "X" ]) [] with
+  | Ok _ -> Alcotest.fail "bodyless non-ground clause accepted"
+  | Error _ -> ()
+
+(* --- Classifier lattice ------------------------------------------------- *)
+
+let test_classifier_lattice () =
+  let cls src = (A.Classify.classify (parse_program src)).A.Classify.cls in
+  Alcotest.(check string) "NRDat" "NRDat"
+    (A.Classify.cls_name (cls "p(X) :- e(X). q(X) :- p(X)."));
+  Alcotest.(check string) "LDat" "LDat"
+    (A.Classify.cls_name
+       (cls "tc(X,Y) :- e(X,Y). tc(X,Z) :- tc(X,Y), e(Y,Z)."));
+  (* piecewise-linear but not linear: r joins two independently linear
+     recursive predicates, using no atom of its own SCC *)
+  let pwl =
+    cls
+      "p(X) :- e(X). p(X) :- p(Y), f(Y,X). q(X) :- g(X). q(X) :- q(Y), f(Y,X). r(X,Y) :- p(X), q(Y)."
+  in
+  Alcotest.(check string) "PwlDat" "PwlDat" (A.Classify.cls_name pwl);
+  Alcotest.(check string) "Dat" "Dat"
+    (A.Classify.cls_name
+       (cls "a(X) :- s(X). a(X) :- a(Y), a(Z), t(Y,Z,X)."))
+
+let test_classifier_structure () =
+  let c =
+    A.Classify.classify
+      (parse_program
+         "p(X) :- e(X). p(X) :- p(Y), f(Y,X). q(X) :- g(X). q(X) :- q(Y), f(Y,X). r(X,Y) :- p(X), q(Y).")
+  in
+  Alcotest.(check bool) "recursive" true c.A.Classify.recursive;
+  Alcotest.(check bool) "not linear" false c.A.Classify.linear;
+  Alcotest.(check bool) "piecewise-linear" true c.A.Classify.piecewise_linear;
+  Alcotest.(check int) "strata" 2 c.A.Classify.strata;
+  Alcotest.(check int) "recursive sccs" 2 c.A.Classify.recursive_sccs;
+  (* dependencies before dependents *)
+  let strata_order =
+    List.map (fun (s : A.Classify.scc) -> s.A.Classify.stratum) c.A.Classify.sccs
+  in
+  Alcotest.(check bool) "sccs topologically sorted" true
+    (strata_order = List.sort compare strata_order)
+
+let test_cycle_witness () =
+  let program =
+    parse_program "p(X) :- q(X). q(X) :- p(X). p(X) :- e(X)."
+  in
+  let scc =
+    [ D.Symbol.intern "p"; D.Symbol.intern "q" ]
+  in
+  match A.Classify.cycle_witness program scc with
+  | Some (first :: _ as cycle) ->
+    Alcotest.(check bool) "closes the loop" true
+      (D.Symbol.equal first (List.nth cycle (List.length cycle - 1)));
+    Alcotest.(check bool) "length > 1" true (List.length cycle > 1)
+  | Some [] | None -> Alcotest.fail "expected a witness cycle"
+
+let test_workload_classes () =
+  let cls scenario =
+    A.Classify.cls_name
+      ((A.Classify.classify scenario.W.Scenario.program).A.Classify.cls)
+  in
+  Alcotest.(check string) "transclosure" "LDat" (cls (W.Transclosure.scenario ()));
+  Alcotest.(check string) "csda" "LDat" (cls (W.Csda.scenario ()));
+  List.iter
+    (fun s -> Alcotest.(check string) (s.W.Scenario.name ^ " class") "NRDat" (cls s))
+    (W.Doctors.scenarios ~scale:0.01 ())
+
+(* --- Encoding selection ------------------------------------------------- *)
+
+let test_selection () =
+  let nonrec_program = parse_program "p(X) :- e(X), f(X). p(X) :- g(X)." in
+  let plan = A.Selection.plan nonrec_program in
+  Alcotest.(check bool) "non-recursive skips acyclicity" true
+    plan.A.Selection.skip_acyclicity;
+  Alcotest.(check bool) "fo eligible" true plan.A.Selection.fo_eligible;
+  (* memoized by physical identity *)
+  Alcotest.(check bool) "plan memoized" true
+    (A.Selection.plan nonrec_program == plan);
+  let rec_program =
+    parse_program "tc(X,Y) :- e(X,Y). tc(X,Z) :- tc(X,Y), e(Y,Z)."
+  in
+  Alcotest.(check bool) "recursive keeps acyclicity" false
+    (A.Selection.skip_acyclicity rec_program);
+  Alcotest.(check bool) "recursive not fo" false
+    (A.Selection.fo_eligible rec_program);
+  (* constants in a rule body block the FO rewriting, not the skip *)
+  let const_program = parse_program "p(X) :- e(X, a)." in
+  Alcotest.(check bool) "constants: still skips" true
+    (A.Selection.skip_acyclicity const_program);
+  Alcotest.(check bool) "constants: not fo" false
+    (A.Selection.fo_eligible const_program);
+  Alcotest.(check bool) "constant_free detects" false
+    (A.Selection.constant_free const_program)
+
+(* --- Differential: encoding choice never changes why_UN ------------------ *)
+
+let sorted_members l = List.sort D.Fact.Set.compare l
+
+let members_with acyclicity program db goal =
+  let e = P.Enumerate.create ?acyclicity program db goal in
+  sorted_members (P.Enumerate.to_list e)
+
+let check_encodings_agree name program db goal =
+  let auto = members_with None program db goal in
+  let ve = members_with (Some P.Encode.Vertex_elimination) program db goal in
+  let tc = members_with (Some P.Encode.Transitive_closure) program db goal in
+  Alcotest.(check int) (name ^ ": auto = VE count") (List.length ve)
+    (List.length auto);
+  Alcotest.(check bool) (name ^ ": auto = VE") true
+    (List.for_all2 D.Fact.Set.equal auto ve);
+  Alcotest.(check bool) (name ^ ": auto = TC") true
+    (List.length auto = List.length tc
+    && List.for_all2 D.Fact.Set.equal auto tc)
+
+let test_differential_encodings () =
+  (* Non-recursive: the auto path drops the acyclicity clauses. *)
+  let program = parse_program "p(X) :- e(X,Y), f(Y). p(X) :- g(X)." in
+  let db =
+    D.Database.of_list
+      (List.map
+         (fun (p, args) -> D.Fact.of_strings p args)
+         [ ("e", [ "a"; "b" ]); ("e", [ "a"; "c" ]); ("f", [ "b" ]);
+           ("f", [ "c" ]); ("g", [ "a" ]) ])
+  in
+  check_encodings_agree "non-recursive" program db
+    (D.Fact.of_strings "p" [ "a" ]);
+  (* Recursive program on cyclic data: acyclicity clauses matter; the
+     auto path must keep them and still agree. *)
+  let tc_program =
+    parse_program "tc(X,Y) :- e(X,Y). tc(X,Z) :- tc(X,Y), e(Y,Z)."
+  in
+  let cyc =
+    D.Database.of_list
+      (List.map
+         (fun (x, y) -> D.Fact.of_strings "e" [ x; y ])
+         [ ("a", "b"); ("b", "c"); ("c", "a"); ("a", "c") ])
+  in
+  check_encodings_agree "recursive cyclic" tc_program cyc
+    (D.Fact.of_strings "tc" [ "a"; "a" ]);
+  (* Dat-class program from the paper (Example 4). *)
+  let acc = parse_program "a(X) :- s(X). a(X) :- a(Y), a(Z), t(Y,Z,X)." in
+  let acc_db =
+    D.Database.of_list
+      (List.map
+         (fun (p, args) -> D.Fact.of_strings p args)
+         [ ("s", [ "a" ]); ("s", [ "b" ]); ("t", [ "a"; "a"; "c" ]);
+           ("t", [ "b"; "b"; "c" ]); ("t", [ "c"; "c"; "d" ]) ])
+  in
+  check_encodings_agree "path-accessibility" acc acc_db
+    (D.Fact.of_strings "a" [ "d" ])
+
+let test_differential_encodings_workloads () =
+  (* Doctors (non-recursive, real workload): every enumerated member of
+     the auto (acyclicity-free) encoding agrees with both forced
+     encodings; the enumeration is exhausted so the comparison is
+     order-independent. *)
+  List.iter
+    (fun (s : W.Scenario.t) ->
+      let db = W.Scenario.database s (fst (List.hd s.W.Scenario.databases)) in
+      let answers = W.Scenario.pick_answers ~seed:11 s db 2 in
+      List.iter
+        (fun goal ->
+          let limit = 60 in
+          let take acyclicity =
+            P.Enumerate.to_list ~limit
+              (P.Enumerate.create ?acyclicity s.W.Scenario.program db goal)
+          in
+          let auto = take None in
+          if List.length auto < limit then begin
+            let auto = sorted_members auto in
+            let ve =
+              sorted_members (take (Some P.Encode.Vertex_elimination))
+            in
+            Alcotest.(check bool)
+              (s.W.Scenario.name ^ ": auto = VE on workload") true
+              (List.length auto = List.length ve
+              && List.for_all2 D.Fact.Set.equal auto ve)
+          end)
+        answers)
+    (W.Doctors.scenarios ~scale:0.01 ());
+  (* Transclosure (linear recursive) on a small slice. *)
+  let s = W.Transclosure.scenario ~scale:0.004 () in
+  let db = W.Scenario.database s (fst (List.hd s.W.Scenario.databases)) in
+  let answers = W.Scenario.pick_answers ~seed:3 s db 2 in
+  List.iter
+    (fun goal ->
+      let take acyclicity =
+        P.Enumerate.to_list ~limit:25
+          (P.Enumerate.create ?acyclicity s.W.Scenario.program db goal)
+      in
+      let auto = take None in
+      if List.length auto < 25 then
+        let ve = sorted_members (take (Some P.Encode.Vertex_elimination)) in
+        Alcotest.(check bool) "transclosure: auto = VE" true
+          (List.length auto = List.length ve
+          && List.for_all2 D.Fact.Set.equal (sorted_members auto) ve))
+    answers
+
+(* --- Differential: auto encoding vs the powerset oracle ----------------- *)
+
+let const_pool = [| "a"; "b"; "c"; "d" |]
+
+let gen_nonrec_db =
+  QCheck.Gen.(
+    let fact p gens =
+      let* args = flatten_l gens in
+      return (D.Fact.of_strings p args)
+    in
+    let* n = int_range 2 7 in
+    list_repeat n
+      (oneof
+         [
+           fact "e" [ oneofa const_pool; oneofa const_pool ];
+           fact "f" [ oneofa const_pool ];
+           fact "g" [ oneofa const_pool ];
+         ]))
+
+let arb_nonrec_db =
+  QCheck.make gen_nonrec_db ~print:(fun facts ->
+      String.concat " " (List.map D.Fact.to_string facts))
+
+let nonrec_program = parse_program "p(X) :- e(X,Y), f(Y). p(X) :- g(X)."
+
+let prop_auto_encoding_equals_powerset =
+  QCheck.Test.make ~count:60
+    ~name:"acyclicity-free enumeration = powerset oracle" arb_nonrec_db
+    (fun facts ->
+      let db = D.Database.of_list facts in
+      let answers = P.Explain.answers (P.Explain.query nonrec_program "p") db in
+      List.for_all
+        (fun goal ->
+          let members =
+            sorted_members
+              (P.Enumerate.to_list (P.Enumerate.create nonrec_program db goal))
+          in
+          let oracle = Reference_oracle.why_un_powerset nonrec_program db goal in
+          List.length members = List.length oracle
+          && List.for_all2 D.Fact.Set.equal members oracle)
+        answers)
+
+(* --- Differential: FO fast path vs Membership --------------------------- *)
+
+let gen_candidate db =
+  QCheck.Gen.(
+    let facts = D.Database.to_list db in
+    let* keep = list_repeat (List.length facts) bool in
+    return
+      (List.fold_left2
+         (fun acc f k -> if k then D.Fact.Set.add f acc else acc)
+         D.Fact.Set.empty facts keep))
+
+let prop_fo_path_equals_membership =
+  QCheck.Test.make ~count:60 ~name:"fo fast path = membership procedures"
+    arb_nonrec_db
+    (fun facts ->
+      let db = D.Database.of_list facts in
+      let q = P.Explain.query nonrec_program "p" in
+      Alcotest.(check bool) "program is fo-eligible" true
+        (A.Selection.fo_eligible nonrec_program);
+      let candidate =
+        QCheck.Gen.generate1 (gen_candidate db)
+      in
+      List.for_all
+        (fun goal ->
+          List.for_all
+            (fun (variant, reference) ->
+              P.Explain.why_provenance ~variant q db goal candidate
+              = reference nonrec_program db goal candidate)
+            [
+              (`Any, P.Membership.why);
+              (`Unambiguous, P.Membership.why_un);
+              (`Non_recursive, P.Membership.why_nr);
+            ])
+        (P.Explain.answers q db))
+
+let test_fo_path_rejects_non_subset () =
+  let db =
+    D.Database.of_list
+      [ D.Fact.of_strings "g" [ "a" ]; D.Fact.of_strings "e" [ "a"; "b" ] ]
+  in
+  let q = P.Explain.query nonrec_program "p" in
+  let goal = D.Fact.of_strings "p" [ "a" ] in
+  let candidate =
+    D.Fact.Set.of_list
+      [ D.Fact.of_strings "g" [ "a" ]; D.Fact.of_strings "g" [ "zzz" ] ]
+  in
+  Alcotest.(check bool) "candidate outside the database rejected" false
+    (P.Explain.why_provenance ~variant:`Any q db goal candidate)
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "analysis",
+    [
+      tc "error codes" `Quick test_error_codes;
+      tc "warning codes" `Quick test_warning_codes;
+      tc "recursive scc info" `Quick test_info_recursive_scc;
+      tc "underscore exempt" `Quick test_underscore_exempt;
+      tc "diagnostics sorted" `Quick test_diagnostics_sorted_and_positioned;
+      tc "check_program entry" `Quick test_check_program_entry;
+      tc "make_checked" `Quick test_make_checked;
+      tc "classifier lattice" `Quick test_classifier_lattice;
+      tc "classifier structure" `Quick test_classifier_structure;
+      tc "cycle witness" `Quick test_cycle_witness;
+      tc "workload classes" `Quick test_workload_classes;
+      tc "encoding selection" `Quick test_selection;
+      tc "differential encodings" `Quick test_differential_encodings;
+      tc "differential encodings (workloads)" `Quick
+        test_differential_encodings_workloads;
+      QCheck_alcotest.to_alcotest prop_auto_encoding_equals_powerset;
+      QCheck_alcotest.to_alcotest prop_fo_path_equals_membership;
+      tc "fo path rejects non-subset" `Quick test_fo_path_rejects_non_subset;
+    ] )

@@ -60,6 +60,38 @@ let test_parse_errors () =
   expect_error "p(a,).";
   expect_error "p : q."
 
+(* Parse errors must point at the offending token (file:line:col), not
+   at wherever the lexer happened to stop — the analyzer's WP000
+   diagnostics reuse these positions verbatim. *)
+let test_parse_error_positions () =
+  let expect_pos src ~line ~col ~substring =
+    match D.Parser.parse_string ~file:"t.dl" src with
+    | exception D.Parser.Error (pos, msg) ->
+      Alcotest.(check string)
+        (Printf.sprintf "%S file" src)
+        "t.dl" pos.D.Pos.file;
+      Alcotest.(check int) (Printf.sprintf "%S line" src) line pos.D.Pos.line;
+      Alcotest.(check int) (Printf.sprintf "%S col" src) col pos.D.Pos.col;
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+        at 0
+      in
+      if not (contains msg substring) then
+        Alcotest.failf "%S: message %S lacks %S" src msg substring
+    | _ -> Alcotest.failf "expected syntax error on %S" src
+  in
+  (* unterminated atoms: input ends mid-argument-list *)
+  expect_pos "tc(a" ~line:1 ~col:5 ~substring:"unterminated atom";
+  expect_pos "tc(" ~line:1 ~col:4 ~substring:"unterminated atom";
+  expect_pos "tc(a,b) :- edge(a,b)" ~line:1 ~col:21 ~substring:"end of input";
+  (* unterminated quoted constant: points at the opening quote *)
+  expect_pos "tc('abc)." ~line:1 ~col:4 ~substring:"unterminated quoted";
+  (* stray tokens, with the error on the right line *)
+  expect_pos "tc(a,b).\nedge(X Y)." ~line:2 ~col:8 ~substring:"expected ',' or ')'";
+  expect_pos "tc(a,b) tc(b,c)." ~line:1 ~col:9 ~substring:"expected '.' or ':-'";
+  expect_pos "tc(a,b). @" ~line:1 ~col:10 ~substring:"unexpected character"
+
 let test_parse_roundtrip_pp () =
   let program = parse_program tc_program in
   let printed = Format.asprintf "%a" D.Program.pp program in
@@ -327,6 +359,7 @@ let suite =
       tc "parse comments/quotes" `Quick test_parse_comments_and_quotes;
       tc "parse zero arity" `Quick test_parse_zero_arity;
       tc "parse errors" `Quick test_parse_errors;
+      tc "parse error positions" `Quick test_parse_error_positions;
       tc "parse pp roundtrip" `Quick test_parse_roundtrip_pp;
       tc "edb/idb split" `Quick test_edb_idb;
       tc "classification" `Quick test_classification;

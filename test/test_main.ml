@@ -10,6 +10,7 @@ let () =
       Test_provenance.suite;
       Test_reductions.suite;
       Test_workloads.suite;
+      Test_analysis.suite;
       Test_explain.suite;
       Test_properties.suite;
       Test_semiring.suite;

@@ -28,6 +28,48 @@ let test_table1_classification () =
   check_class (W.Andersen.scenario ()) ~linear:false ~recursive:true ~rules:4;
   check_class (W.Csda.scenario ()) ~linear:true ~recursive:true ~rules:2
 
+(* The human-readable class strings and the predicate dependency graph,
+   pinned for every bundled workload (Table 1). *)
+let test_query_class_and_edges () =
+  let check_query_class scenario expected =
+    Alcotest.(check string)
+      (scenario.W.Scenario.name ^ " query_class")
+      expected
+      (D.Program.query_class scenario.W.Scenario.program)
+  in
+  check_query_class (W.Transclosure.scenario ()) "linear, recursive";
+  check_query_class (W.Csda.scenario ()) "linear, recursive";
+  check_query_class (W.Andersen.scenario ()) "non-linear, recursive";
+  check_query_class (W.Galen.scenario ()) "non-linear, recursive";
+  List.iter
+    (fun s -> check_query_class s "linear, non-recursive")
+    (W.Doctors.scenarios ~scale:0.01 ());
+  (* predicate_edges: body predicate -> head predicate, including the
+     self-loop of every directly recursive predicate *)
+  let edges scenario =
+    List.map
+      (fun (src, dst) -> (D.Symbol.name src, D.Symbol.name dst))
+      (D.Program.predicate_edges scenario.W.Scenario.program)
+  in
+  let tc_edges = edges (W.Transclosure.scenario ()) in
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "transclosure edge %s->%s" (fst e) (snd e))
+        true (List.mem e tc_edges))
+    [ ("edge", "tc"); ("tc", "tc") ];
+  let andersen_edges = edges (W.Andersen.scenario ()) in
+  Alcotest.(check bool) "andersen pt self-loop" true
+    (List.mem ("pt", "pt") andersen_edges);
+  List.iter
+    (fun scenario ->
+      Alcotest.(check bool)
+        (scenario.W.Scenario.name ^ " has no self-loop")
+        false
+        (List.exists (fun (s, d) -> D.Symbol.equal s d)
+           (D.Program.predicate_edges scenario.W.Scenario.program)))
+    (W.Doctors.scenarios ~scale:0.01 ())
+
 let test_determinism () =
   let db1 = W.Andersen.statements ~seed:7 ~vars:100 () in
   let db2 = W.Andersen.statements ~seed:7 ~vars:100 () in
@@ -326,6 +368,7 @@ let suite =
   ( "workloads",
     [
       tc "table 1 classification" `Quick test_table1_classification;
+      tc "query class and edges" `Quick test_query_class_and_edges;
       tc "determinism" `Quick test_determinism;
       tc "databases well-formed" `Quick test_databases_well_formed;
       tc "pipeline end-to-end" `Quick test_pipeline_end_to_end_small;
