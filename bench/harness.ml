@@ -24,6 +24,7 @@ type config = {
   mutable seed : int;
   mutable jobs : int;          (* worker domains for the batch experiment *)
   mutable stats_out : string option; (* JSONL sink, e.g. BENCH_fig1.json *)
+  mutable trace_out : string option; (* Chrome trace sink (--trace-out) *)
 }
 
 let config =
@@ -37,6 +38,7 @@ let config =
     seed = 20240614;
     jobs = 4;
     stats_out = None;
+    trace_out = None;
   }
 
 (* --- Stats rows (--stats-out) ------------------------------------------ *)

@@ -14,7 +14,8 @@ let usage () =
   print_endline
     "usage: main.exe [--scale F] [--tuples N] [--limit N] [--timeout S] \
      [--budget N] [--seed N] [--jobs N] [--stats-out FILE.json] \
-     [table1|fig1|fig2|fig3|fig4|fig5|hardness|ablation|combined|batch|analysis|micro|all]...";
+     [--trace-out FILE.json] \
+     [table1|fig1|fig2|fig3|fig4|fig5|hardness|ablation|combined|batch|analysis|tracing|micro|all]...";
   exit 1
 
 let () =
@@ -49,6 +50,22 @@ let () =
       Harness.config.Harness.stats_out <- Some v;
       Util.Metrics.set_enabled true;
       parse rest
+    | "--trace-out" :: v :: rest ->
+      (* Structured event timeline of the whole bench run, written as
+         Chrome trace-event JSON on exit (docs/OBSERVABILITY.md). The
+         tracing experiment toggles the recorder itself, so its own
+         overhead measurements stay unpolluted; everything else records
+         into the same buffers until the flush. *)
+      Harness.config.Harness.trace_out <- Some v;
+      Util.Tracing.set_enabled true;
+      at_exit (fun () ->
+          Util.Tracing.set_enabled false;
+          try
+            let oc = open_out v in
+            Util.Tracing.write_chrome oc;
+            close_out oc
+          with Sys_error msg -> Printf.eprintf "bench: --trace-out: %s\n" msg);
+      parse rest
     | ("--help" | "-h") :: _ -> usage ()
     | name :: rest ->
       experiments := name :: !experiments;
@@ -70,6 +87,7 @@ let () =
     | "combined" -> Experiments.combined ()
     | "batch" -> Experiments.batch ()
     | "analysis" -> Experiments.analysis ()
+    | "tracing" -> Experiments.tracing ()
     | "micro" -> Micro.run ()
     | "all" ->
       Experiments.table1 ();
@@ -81,6 +99,7 @@ let () =
       Experiments.combined ();
       Experiments.batch ();
       Experiments.analysis ();
+      Experiments.tracing ();
       Micro.run ()
     | other ->
       Printf.eprintf "unknown experiment %S\n" other;

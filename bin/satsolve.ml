@@ -1,35 +1,65 @@
 (* satsolve — standalone DIMACS front end to the CDCL substrate.
 
-   Usage: satsolve [--stats[=json]] FILE.cnf
+   Usage: satsolve [--stats[=json]] [--trace FILE] [--progress[=N]] FILE.cnf
    Prints "s SATISFIABLE" with a "v ..." model line, or "s UNSATISFIABLE",
    in the conventional SAT-competition output format, plus solver
-   statistics on stderr. With --stats the pipeline metrics registry
-   (docs/OBSERVABILITY.md) is enabled and its snapshot is printed on
-   stderr as well — human-readable by default, one JSON line with
-   --stats=json. *)
+   statistics on stderr — including the learnt-clause LBD distribution.
+   With --stats the pipeline metrics registry (docs/OBSERVABILITY.md) is
+   enabled and its snapshot is printed on stderr as well — human-readable
+   by default, one JSON line with --stats=json. --trace FILE records the
+   structured event timeline and writes Chrome trace-event JSON on exit;
+   --progress[=N] prints a live telemetry line every N conflicts
+   (default 2048) and a one-line summary at the end. *)
 
 let usage () =
-  prerr_endline "usage: satsolve [--stats[=json]] FILE.cnf";
+  prerr_endline
+    "usage: satsolve [--stats[=json]] [--trace FILE] [--progress[=N]] FILE.cnf";
   exit 2
 
 let () =
   let stats = ref None in
-  let paths =
-    List.filter
-      (fun arg ->
-        match arg with
-        | "--stats" | "--stats=human" ->
-          stats := Some `Human;
-          false
-        | "--stats=json" ->
-          stats := Some `Json;
-          false
-        | _ -> true)
-      (List.tl (Array.to_list Sys.argv))
+  let trace = ref None in
+  let progress = ref None in
+  let rec filter args =
+    match args with
+    | [] -> []
+    | ("--stats" | "--stats=human") :: rest ->
+      stats := Some `Human;
+      filter rest
+    | "--stats=json" :: rest ->
+      stats := Some `Json;
+      filter rest
+    | "--trace" :: path :: rest ->
+      trace := Some path;
+      filter rest
+    | "--progress" :: rest ->
+      progress := Some 2048;
+      filter rest
+    | arg :: rest when String.length arg > 11 && String.sub arg 0 11 = "--progress=" ->
+      (match int_of_string_opt (String.sub arg 11 (String.length arg - 11)) with
+      | Some n when n > 0 -> progress := Some n
+      | _ -> usage ());
+      filter rest
+    | arg :: rest -> arg :: filter rest
   in
+  let paths = filter (List.tl (Array.to_list Sys.argv)) in
   match paths with
   | [ path ] ->
     if !stats <> None then Util.Metrics.set_enabled true;
+    if !trace <> None then Util.Tracing.set_enabled true;
+    (match !progress with
+    | None -> ()
+    | Some interval ->
+      Sat.Solver.set_progress ~interval
+        (Some
+           (fun (p : Sat.Solver.progress) ->
+             Printf.eprintf
+               "c [progress] conflicts=%d restarts=%d learnts=%d lbd-avg=%.1f \
+                level=%d\n\
+                %!"
+               p.Sat.Solver.p_conflicts p.Sat.Solver.p_restarts
+               p.Sat.Solver.p_learnts p.Sat.Solver.p_lbd_avg
+               p.Sat.Solver.p_decision_level)));
     let ic = open_in_bin path in
     let n = in_channel_length ic in
     let src = really_input_string ic n in
@@ -41,14 +71,47 @@ let () =
     let result = Sat.Solver.solve solver in
     let stats' = Sat.Solver.stats solver in
     Printf.eprintf
-      "c conflicts=%d decisions=%d propagations=%d restarts=%d deleted=%d\n"
+      "c conflicts=%d decisions=%d propagations=%d restarts=%d learnts=%d \
+       deleted=%d\n"
       stats'.Sat.Solver.conflicts stats'.Sat.Solver.decisions
       stats'.Sat.Solver.propagations stats'.Sat.Solver.restarts
-      stats'.Sat.Solver.deleted_clauses;
+      stats'.Sat.Solver.learnt_clauses stats'.Sat.Solver.deleted_clauses;
+    (* Learnt-clause LBD distribution, "lbd:count" ascending; the last
+       bin (32) collects every LBD >= 32. Omitted when nothing was
+       learnt. *)
+    (match stats'.Sat.Solver.lbd with
+    | [] -> ()
+    | dist ->
+      let buffer = Buffer.create 128 in
+      Buffer.add_string buffer "c lbd-distribution";
+      List.iter
+        (fun (lbd, count) ->
+          Buffer.add_string buffer (Printf.sprintf " %d:%d" lbd count))
+        dist;
+      prerr_endline (Buffer.contents buffer));
+    (match !progress with
+    | None -> ()
+    | Some _ ->
+      let t = Sat.Solver.progress_totals () in
+      Printf.eprintf
+        "c progress: %d solve(s), %d conflict(s), %d restart(s), %d learnt \
+         clause(s)\n\
+         %!"
+        t.Sat.Solver.t_solves t.Sat.Solver.t_conflicts
+        t.Sat.Solver.t_restarts t.Sat.Solver.t_learnt_clauses);
     (match !stats with
     | Some `Json -> prerr_endline (Util.Metrics.to_json_string ())
     | Some `Human -> prerr_string (Util.Metrics.to_string ())
     | None -> ());
+    (match !trace with
+    | None -> ()
+    | Some path ->
+      Util.Tracing.set_enabled false;
+      (try
+         let oc = open_out path in
+         Util.Tracing.write_chrome oc;
+         close_out oc
+       with Sys_error msg -> Printf.eprintf "satsolve: --trace: %s\n" msg));
     (match result with
     | Sat.Solver.Sat ->
       print_endline "s SATISFIABLE";

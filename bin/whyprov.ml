@@ -24,7 +24,11 @@
    Every command additionally accepts --stats[=json] and
    --stats-out FILE, which enable the pipeline-wide metrics registry
    (see docs/OBSERVABILITY.md) and emit a snapshot when the process
-   exits. *)
+   exits; --trace FILE / --trace-jsonl FILE, which record the
+   structured event timeline (Chrome trace-event JSON for Perfetto /
+   chrome://tracing, or line-oriented JSON) and flush it on exit; and
+   --progress[=N], which prints live SAT search telemetry to stderr
+   every N conflicts plus a final one-line summary. *)
 
 module D = Datalog
 module P = Provenance
@@ -56,6 +60,64 @@ let setup_stats stats stats_out =
         | Some `Human -> prerr_string (Metrics.to_string ())
         | None -> ())
   end
+
+(* Enable the event-trace recorder and register the flush for process
+   exit. Recording is stopped before flushing so the writers see a
+   quiescent buffer set (worker domains are joined long before exit). *)
+let setup_tracing trace trace_jsonl =
+  if trace <> None || trace_jsonl <> None then begin
+    Util.Tracing.set_enabled true;
+    at_exit (fun () ->
+        Util.Tracing.set_enabled false;
+        let write flag path writer =
+          try
+            let oc = open_out path in
+            writer oc;
+            close_out oc
+          with Sys_error msg -> Printf.eprintf "whyprov: %s: %s\n" flag msg
+        in
+        (match trace with
+        | Some path -> write "--trace" path Util.Tracing.write_chrome
+        | None -> ());
+        match trace_jsonl with
+        | Some path -> write "--trace-jsonl" path Util.Tracing.write_jsonl
+        | None -> ())
+  end
+
+(* Live solver telemetry: a MiniSat-style stderr line every N conflicts
+   (the callback runs on whichever domain is solving, hence the mutex)
+   and a deterministic one-line summary at exit. *)
+let progress_lock = Mutex.create ()
+
+let setup_progress progress =
+  match progress with
+  | None -> ()
+  | Some interval ->
+    Sat.Solver.set_progress ~interval
+      (Some
+         (fun (p : Sat.Solver.progress) ->
+           Mutex.lock progress_lock;
+           Printf.eprintf
+             "whyprov: [sat] conflicts=%d restarts=%d learnts=%d lbd-avg=%.1f \
+              level=%d\n\
+              %!"
+             p.Sat.Solver.p_conflicts p.Sat.Solver.p_restarts
+             p.Sat.Solver.p_learnts p.Sat.Solver.p_lbd_avg
+             p.Sat.Solver.p_decision_level;
+           Mutex.unlock progress_lock));
+    at_exit (fun () ->
+        let t = Sat.Solver.progress_totals () in
+        Printf.eprintf
+          "whyprov: progress: %d solve(s), %d conflict(s), %d restart(s), %d \
+           learnt clause(s)\n\
+           %!"
+          t.Sat.Solver.t_solves t.Sat.Solver.t_conflicts
+          t.Sat.Solver.t_restarts t.Sat.Solver.t_learnt_clauses)
+
+let setup_obs stats stats_out trace trace_jsonl progress =
+  setup_stats stats stats_out;
+  setup_tracing trace trace_jsonl;
+  setup_progress progress
 
 let load_file path =
   let rules, facts = D.Parser.split (D.Parser.parse_file path) in
@@ -482,7 +544,38 @@ let stats_out_arg =
           "Record pipeline metrics and write the JSON snapshot to $(docv) on \
            exit (implies metrics recording; combines with $(b,--stats)).")
 
-let stats_term = Term.(const setup_stats $ stats_arg $ stats_out_arg)
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record the structured event timeline (docs/OBSERVABILITY.md) and \
+           write it to $(docv) as Chrome trace-event JSON on exit — load in \
+           Perfetto or chrome://tracing.")
+
+let trace_jsonl_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-jsonl" ] ~docv:"FILE"
+        ~doc:
+          "Record the structured event timeline and write it to $(docv) as \
+           line-oriented JSON (one event per line) on exit.")
+
+let progress_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some 2048) (some int) None
+    & info [ "progress" ] ~docv:"N"
+        ~doc:
+          "Print live SAT search telemetry to stderr every $(docv) conflicts \
+           (default 2048) plus a one-line summary on exit.")
+
+let stats_term =
+  Term.(
+    const setup_obs $ stats_arg $ stats_out_arg $ trace_arg $ trace_jsonl_arg
+    $ progress_arg)
 
 let answers_cmd =
   Cmd.v (Cmd.info "answers" ~doc:"Evaluate the query and print all answers")

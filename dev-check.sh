@@ -55,6 +55,33 @@ if dune exec --no-build bin/whyprov.exe -- \
   exit 1
 fi
 
+echo "== trace smoke (whyprov --trace / --progress on examples/reach.dl)"
+t1=$(mktemp -t whyprov-trace.XXXXXX)
+t2=$(mktemp -t whyprov-batch-trace.XXXXXX)
+prog=$(mktemp -t whyprov-progress.XXXXXX)
+trap 'rm -f "$out" "$b1" "$b2" "$bstats" "$t1" "$t2" "$prog"' EXIT
+dune exec --no-build bin/whyprov.exe -- \
+  explain examples/reach.dl -q tc -t a,c --trace "$t1" > /dev/null
+
+# validate_trace parses the Chrome trace-event dump, checks per-domain
+# begin/end balance and timestamp monotonicity, and requires the listed
+# pipeline spans (docs/OBSERVABILITY.md, "Structured event tracing").
+dune exec --no-build test/cli/validate_trace.exe -- "$t1" \
+  eval.seminaive closure.build encode.build sat.solve enum.next
+
+# Under the batch fan-out every worker domain's per-tuple spans must be
+# recorded and balanced.
+dune exec --no-build bin/whyprov.exe -- \
+  batch examples/reach.dl -q tc --all --jobs 2 --trace "$t2" > /dev/null
+dune exec --no-build test/cli/validate_trace.exe -- "$t2" \
+  batch.run batch.task
+
+# Live solver telemetry: the end-of-run summary on stderr is
+# deterministic on reach.dl (golden-diffed in test/cli too).
+dune exec --no-build bin/whyprov.exe -- \
+  explain examples/reach.dl -q tc -t a,c --progress > /dev/null 2> "$prog"
+diff test/cli/expected_progress.txt "$prog"
+
 echo "== analyzer smoke (whyprov check on examples/)"
 # Clean program: exit 0; lint-y program: warnings but exit 0, and exit 1
 # under --deny-warnings; broken program: errors and exit 1 (and

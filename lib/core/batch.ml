@@ -7,6 +7,7 @@ open Datalog
    The deeper layers — encode.*, sat.*, enum.* — tick from inside the
    worker domains and rely on [Util.Metrics] being domain-safe. *)
 module Metrics = Util.Metrics
+module Tracing = Util.Tracing
 
 let m_run_time = Metrics.timer "batch.run"
 let m_materialize_time = Metrics.timer "batch.materialize"
@@ -101,10 +102,12 @@ let enumerate_task ?acyclicity ?max_fill ~limit ~conflict_budget closure =
 
 let run ?(jobs = 1) ?(limit = max_int) ?conflict_budget ?acyclicity ?max_fill
     program db spec =
+  Tracing.with_span "batch.run" @@ fun () ->
   Metrics.time m_run_time @@ fun () ->
   Metrics.incr m_runs;
   let ranks : int Fact.Table.t = Fact.Table.create 1024 in
   let model, materialize_s =
+    Tracing.with_span "batch.materialize" @@ fun () ->
     Metrics.time m_materialize_time @@ fun () ->
     timed (fun () -> Eval.seminaive ~ranks program db)
   in
@@ -118,6 +121,7 @@ let run ?(jobs = 1) ?(limit = max_int) ?conflict_budget ?acyclicity ?max_fill
   in
   let cache = Closure.instance_cache program ~model in
   let closures, closures_s =
+    Tracing.with_span "batch.closures" @@ fun () ->
     Metrics.time m_closures_time @@ fun () ->
     timed (fun () -> Array.map (Closure.build_cached cache db) facts)
   in
@@ -126,6 +130,17 @@ let run ?(jobs = 1) ?(limit = max_int) ?conflict_budget ?acyclicity ?max_fill
   let workers = if n = 0 then 0 else min (max 1 jobs) n in
   let results : result option array = Array.make n None in
   let run_task i =
+    (* Per-tuple worker span, recorded on whichever domain claimed the
+       index — the trace's per-tid rows show the actual interleaving. *)
+    let targs =
+      if Tracing.is_enabled () then
+        [
+          ("fact", Metrics.Json.Str (Fact.to_string facts.(i)));
+          ("index", Metrics.Json.Num (float_of_int i));
+        ]
+      else []
+    in
+    Tracing.with_span ~args:targs "batch.task" @@ fun () ->
     let (members, status), task_s =
       timed (fun () ->
           enumerate_task ?acyclicity ?max_fill ~limit ~conflict_budget
@@ -135,6 +150,7 @@ let run ?(jobs = 1) ?(limit = max_int) ?conflict_budget ?acyclicity ?max_fill
       Some { fact = facts.(i); members; status; rank = fact_ranks.(i); task_s }
   in
   let fanout () =
+    Tracing.with_span "batch.fanout" @@ fun () ->
     timed @@ fun () ->
     if workers <= 1 then
       for i = 0 to n - 1 do

@@ -72,6 +72,7 @@ type elimination_order =
 
 let make ?acyclicity ?(elimination_order = Min_degree)
     ?(max_fill = max_int) ?(capture = false) ?(proof_logging = false) closure =
+  Util.Tracing.with_span "encode.build" @@ fun () ->
   Metrics.time m_encode_time @@ fun () ->
   Metrics.incr m_encodes;
   let acyclicity =
@@ -177,77 +178,89 @@ let make ?acyclicity ?(elimination_order = Min_degree)
   Metrics.add m_vars_node n;
   Metrics.add m_vars_edge n_edges;
   Metrics.add m_vars_hyperedge (List.length yvars);
+  if Util.Tracing.is_enabled () then
+    Util.Tracing.instant "encode.sizes"
+      ~args:
+        [
+          ("nodes", Metrics.Json.Num (float_of_int n));
+          ("edges", Metrics.Json.Num (float_of_int n_edges));
+          ("hyperedges", Metrics.Json.Num (float_of_int !n_hyper));
+        ];
   let open Sat.Lit in
   (* φ_graph: an edge forces both endpoints. *)
   clause_group := m_clauses_graph;
-  Pair_table.iter
-    (fun k v ->
-      let i = k / n and j = k mod n in
-      add_clause [ neg v; pos (xvar i) ];
-      add_clause [ neg v; pos (xvar j) ])
-    zvar;
+  Util.Tracing.with_span "encode.phi_graph" (fun () ->
+      Pair_table.iter
+        (fun k v ->
+          let i = k / n and j = k mod n in
+          add_clause [ neg v; pos (xvar i) ];
+          add_clause [ neg v; pos (xvar j) ])
+        zvar);
   (* φ_root: the root is in, has no incoming edge, and every other chosen
      node has at least one incoming edge. *)
   clause_group := m_clauses_root;
-  let root_id = Fact.Table.find id_of (Closure.root closure) in
-  add_clause [ pos (xvar root_id) ];
-  (match Hashtbl.find_opt in_neighbors root_id with
-  | Some preds -> List.iter (fun i -> add_clause [ neg (z i root_id) ]) !preds
-  | None -> ());
-  Array.iteri
-    (fun i _ ->
-      if i <> root_id then begin
-        let incoming =
-          match Hashtbl.find_opt in_neighbors i with
-          | Some preds -> List.map (fun p -> pos (z p i)) !preds
-          | None -> []
-        in
-        add_clause (neg (xvar i) :: incoming)
-      end)
-    nodes;
+  Util.Tracing.with_span "encode.phi_root" (fun () ->
+      let root_id = Fact.Table.find id_of (Closure.root closure) in
+      add_clause [ pos (xvar root_id) ];
+      (match Hashtbl.find_opt in_neighbors root_id with
+      | Some preds -> List.iter (fun i -> add_clause [ neg (z i root_id) ]) !preds
+      | None -> ());
+      Array.iteri
+        (fun i _ ->
+          if i <> root_id then begin
+            let incoming =
+              match Hashtbl.find_opt in_neighbors i with
+              | Some preds -> List.map (fun p -> pos (z p i)) !preds
+              | None -> []
+            in
+            add_clause (neg (xvar i) :: incoming)
+          end)
+        nodes);
   (* φ_proof: every chosen intensional node picks a hyperedge, and a
      picked hyperedge determines the exact out-edge set of its head. *)
   clause_group := m_clauses_proof;
-  let edges_of_head : (int, (int * int list) list ref) Hashtbl.t =
-    Hashtbl.create 256
-  in
-  List.iter
-    (fun (yv, (head_id, target_ids)) ->
-      match Hashtbl.find_opt edges_of_head head_id with
-      | Some l -> l := (yv, target_ids) :: !l
-      | None -> Hashtbl.add edges_of_head head_id (ref [ (yv, target_ids) ]))
-    yvars;
-  Array.iteri
-    (fun i f ->
-      if Program.is_idb (Closure.program closure) (Fact.pred f) then begin
-        let choices =
-          match Hashtbl.find_opt edges_of_head i with
-          | Some l -> List.map (fun (yv, _) -> pos yv) !l
-          | None -> []
-        in
-        add_clause (neg (xvar i) :: choices)
-      end)
-    nodes;
-  List.iter
-    (fun (yv, (head_id, target_ids)) ->
-      let all_targets =
-        match Hashtbl.find_opt out_neighbors head_id with
-        | Some l -> !l
-        | None -> []
+  Util.Tracing.with_span "encode.phi_proof" (fun () ->
+      let edges_of_head : (int, (int * int list) list ref) Hashtbl.t =
+        Hashtbl.create 256
       in
       List.iter
-        (fun target ->
-          if List.mem target target_ids then
-            add_clause [ neg yv; pos (z head_id target) ]
-          else add_clause [ neg yv; neg (z head_id target) ])
-        all_targets)
-    yvars;
+        (fun (yv, (head_id, target_ids)) ->
+          match Hashtbl.find_opt edges_of_head head_id with
+          | Some l -> l := (yv, target_ids) :: !l
+          | None -> Hashtbl.add edges_of_head head_id (ref [ (yv, target_ids) ]))
+        yvars;
+      Array.iteri
+        (fun i f ->
+          if Program.is_idb (Closure.program closure) (Fact.pred f) then begin
+            let choices =
+              match Hashtbl.find_opt edges_of_head i with
+              | Some l -> List.map (fun (yv, _) -> pos yv) !l
+              | None -> []
+            in
+            add_clause (neg (xvar i) :: choices)
+          end)
+        nodes;
+      List.iter
+        (fun (yv, (head_id, target_ids)) ->
+          let all_targets =
+            match Hashtbl.find_opt out_neighbors head_id with
+            | Some l -> !l
+            | None -> []
+          in
+          List.iter
+            (fun target ->
+              if List.mem target target_ids then
+                add_clause [ neg yv; pos (z head_id target) ]
+              else add_clause [ neg yv; neg (z head_id target) ])
+            all_targets)
+        yvars);
   (* φ_acyclic. *)
   clause_group := m_clauses_acyclic;
   let vars_before_acyclic = Sat.Solver.num_vars solver in
   let elimination_width = ref 0 in
   let fill_edges = ref 0 in
-  (match acyclicity with
+  Util.Tracing.with_span "encode.phi_acyclic" (fun () ->
+  match acyclicity with
   | No_acyclicity ->
     (* Sound only when every candidate edge subset is acyclic — the
        condition [select_acyclicity] establishes; forcing it otherwise

@@ -5,6 +5,7 @@ open Datalog
    delay distribution of the paper's Figures 2/4 — while the enum.next
    timer carries the stage total (the sat.solve spans nest under it). *)
 module Metrics = Util.Metrics
+module Tracing = Util.Tracing
 
 let m_next_time = Metrics.timer "enum.next"
 let m_members = Metrics.counter "enum.members"
@@ -82,6 +83,15 @@ let record_member ?(want_witness = false) t solver =
   Metrics.incr m_members;
   Metrics.incr m_blocking_clauses;
   Metrics.add m_blocking_literals (List.length blocking);
+  (* One instant per model found / blocking clause added: in the trace,
+     these separate the blocking-clause rounds inside an enum.next span. *)
+  if Tracing.is_enabled () then
+    Tracing.instant "enum.member"
+      ~args:
+        [
+          ("support_size", Metrics.Json.Num (float_of_int (Fact.Set.cardinal member)));
+          ("blocking_literals", Metrics.Json.Num (float_of_int (List.length blocking)));
+        ];
   t.produced_list <- member :: t.produced_list;
   t.produced_set <- Set_of_sets.add member t.produced_set;
   (member, witness)
@@ -89,6 +99,7 @@ let record_member ?(want_witness = false) t solver =
 let next t =
   if t.exhausted then None
   else
+    Tracing.with_span "enum.next" @@ fun () ->
     Metrics.time m_next_time @@ fun () ->
     let solver = Encode.solver t.encoding in
     match t.card_outputs with
@@ -97,6 +108,7 @@ let next t =
       | Sat.Solver.Unsat ->
         t.exhausted <- true;
         Metrics.incr m_exhausted;
+        Tracing.instant "enum.exhausted";
         None
       | Sat.Solver.Sat -> Some (fst (record_member t solver)))
     | Some outputs ->
@@ -115,6 +127,7 @@ let next t =
           if t.card_bound >= n then begin
             t.exhausted <- true;
             Metrics.incr m_exhausted;
+            Tracing.instant "enum.exhausted";
             None
           end
           else begin
@@ -128,6 +141,7 @@ let next t =
 let next_limited ~conflict_budget t =
   if t.exhausted then `Exhausted
   else
+    Tracing.with_span "enum.next" @@ fun () ->
     Metrics.time m_next_time @@ fun () ->
     let solver = Encode.solver t.encoding in
     match Sat.Solver.solve_limited ~conflict_budget solver with
@@ -137,6 +151,7 @@ let next_limited ~conflict_budget t =
     | Some Sat.Solver.Unsat ->
       t.exhausted <- true;
       Metrics.incr m_exhausted;
+      Tracing.instant "enum.exhausted";
       `Exhausted
     | Some Sat.Solver.Sat -> `Member (fst (record_member t solver))
 
@@ -171,12 +186,14 @@ let member t candidate =
 let next_with_witness t =
   if t.exhausted then None
   else
+    Tracing.with_span "enum.next" @@ fun () ->
     Metrics.time m_next_time @@ fun () ->
     let solver = Encode.solver t.encoding in
     match timed_solve solver with
     | Sat.Solver.Unsat ->
       t.exhausted <- true;
       Metrics.incr m_exhausted;
+      Tracing.instant "enum.exhausted";
       None
     | Sat.Solver.Sat -> (
       match record_member ~want_witness:true t solver with

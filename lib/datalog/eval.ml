@@ -4,6 +4,7 @@ type binding = (Symbol.t, Symbol.t) Hashtbl.t
    tuple/firing counters are engine-wide: they also tick when the
    closure layer replays rules backwards through [derivations]. *)
 module Metrics = Util.Metrics
+module Tracing = Util.Tracing
 
 let m_naive_time = Metrics.timer "eval.naive"
 let m_seminaive_time = Metrics.timer "eval.seminaive"
@@ -27,6 +28,22 @@ let record_delta db =
           (Database.count_pred db pred))
       (Database.preds db)
   end
+
+(* One counter sample per semi-naive round: the shrinking (or not)
+   delta is the most telling single series of a fixpoint run. *)
+let trace_delta db =
+  if Tracing.is_enabled () then
+    Tracing.counter "eval.delta" [ ("facts", float_of_int (Database.size db)) ]
+
+(* Wraps one semi-naive round; the round number and resulting delta
+   size are attached to the span, so a Perfetto timeline shows which
+   round the fixpoint spent its time in. Arg allocation is guarded. *)
+let round_span round f =
+  if not (Tracing.is_enabled ()) then f ()
+  else
+    Tracing.with_span
+      ~args:[ ("round", Metrics.Json.Num (float_of_int round)) ]
+      "eval.round" f
 
 let match_atom db (b : binding) (atom : Atom.t) k =
   (* Positions already fixed by constants or bound variables. *)
@@ -128,6 +145,7 @@ let fire_rule ~full ~delta ~pos rule emit =
   end
 
 let naive program db =
+  Tracing.with_span "eval.naive" @@ fun () ->
   Metrics.time m_naive_time @@ fun () ->
   let model = Database.of_list (Database.to_list db) in
   let changed = ref true in
@@ -146,6 +164,7 @@ let naive program db =
   model
 
 let seminaive ?ranks program db =
+  Tracing.with_span "eval.seminaive" @@ fun () ->
   Metrics.time m_seminaive_time @@ fun () ->
   Metrics.incr m_runs;
   let model = Database.of_list (Database.to_list db) in
@@ -157,13 +176,16 @@ let seminaive ?ranks program db =
   Database.iter (record 0) db;
   (* Round 1: plain evaluation of every rule over the database. *)
   let delta = ref (Database.create ()) in
-  List.iter
-    (fun rule ->
-      fire_rule ~full:model ~delta:model ~pos:(-1) rule (fun fact ->
-          if not (Database.mem model fact) then ignore (Database.add !delta fact)))
-    (Program.rules program);
+  round_span 1 (fun () ->
+      List.iter
+        (fun rule ->
+          fire_rule ~full:model ~delta:model ~pos:(-1) rule (fun fact ->
+              if not (Database.mem model fact) then
+                ignore (Database.add !delta fact)))
+        (Program.rules program));
   Metrics.incr m_rounds;
   record_delta !delta;
+  trace_delta !delta;
   Database.iter
     (fun fact ->
       if Database.add model fact then begin
@@ -184,17 +206,21 @@ let seminaive ?ranks program db =
   let round = ref 2 in
   while Database.size !delta > 0 do
     let next = Database.create () in
-    List.iter
-      (fun (rule, positions) ->
+    round_span !round (fun () ->
         List.iter
-          (fun pos ->
-            fire_rule ~full:model ~delta:!delta ~pos rule (fun fact ->
-                if not (Database.mem model fact) && not (Database.mem next fact)
-                then ignore (Database.add next fact)))
-          positions)
-      rule_positions;
+          (fun (rule, positions) ->
+            List.iter
+              (fun pos ->
+                fire_rule ~full:model ~delta:!delta ~pos rule (fun fact ->
+                    if
+                      (not (Database.mem model fact))
+                      && not (Database.mem next fact)
+                    then ignore (Database.add next fact)))
+              positions)
+          rule_positions);
     Metrics.incr m_rounds;
     record_delta next;
+    trace_delta next;
     Database.iter
       (fun fact ->
         if Database.add model fact then begin

@@ -47,6 +47,7 @@ let add_vars bound (atom : Atom.t) =
 let transform program (goal : Atom.t) =
   if not (Program.is_idb program goal.Atom.pred) then
     invalid_arg "Magic.transform: goal predicate is not intensional";
+  Util.Tracing.with_span "magic.transform" @@ fun () ->
   let goal_adornment =
     String.init (Atom.arity goal) (fun i ->
         match goal.Atom.args.(i) with Term.Const _ -> 'b' | Term.Var _ -> 'f')
@@ -131,6 +132,7 @@ let transform program (goal : Atom.t) =
   }
 
 let answers t db =
+  Util.Tracing.with_span "magic.answers" @@ fun () ->
   let db' = Database.of_list (t.seed :: Database.to_list db) in
   let model = Eval.seminaive t.program db' in
   (* The adorned answer relation also holds answers demanded for other

@@ -21,9 +21,71 @@ let m_deleted_clauses = Metrics.counter "sat.deleted_clauses"
 let m_db_reductions = Metrics.counter "sat.db_reductions"
 let m_lbd = Metrics.histogram "sat.lbd"
 
+module Tracing = Util.Tracing
+
 type result =
   | Sat
   | Unsat
+
+(* --- Progress telemetry ------------------------------------------------
+
+   A periodic sample of the search's vital signs, in the MiniSat /
+   Glucose progress-line tradition. The hook is module-level (solvers
+   are created deep inside [Encode.make], far from the CLI that wants
+   the telemetry) and the per-conflict cost when armed is one integer
+   comparison against a precomputed threshold; when disarmed the
+   threshold is [max_int] and the comparison never fires. *)
+
+type progress = {
+  p_conflicts : int;
+  p_decisions : int;
+  p_propagations : int;
+  p_restarts : int;
+  p_learnts : int;       (* learnt clauses currently in the database *)
+  p_lbd_avg : float;     (* mean LBD over every clause learnt so far *)
+  p_decision_level : int;
+}
+
+let progress_callback : (progress -> unit) option Atomic.t = Atomic.make None
+let progress_interval = Atomic.make 0
+
+(* When tracing is on but no callback is installed, counter samples
+   still flow into the trace at this conflict cadence. *)
+let default_trace_interval = 4096
+
+let set_progress ?(interval = 2048) cb =
+  (match cb with
+  | None -> Atomic.set progress_interval 0
+  | Some _ -> Atomic.set progress_interval (max 1 interval));
+  Atomic.set progress_callback cb
+
+type totals = {
+  t_solves : int;
+  t_conflicts : int;
+  t_restarts : int;
+  t_learnt_clauses : int;
+}
+
+(* Cross-solver, cross-domain running totals, synchronized once per
+   solve call (in [sync_deltas]) whenever progress reporting is armed —
+   what a final "N solves, M conflicts" stderr summary reads. *)
+let tot_solves = Atomic.make 0
+let tot_conflicts = Atomic.make 0
+let tot_restarts = Atomic.make 0
+let tot_learnts = Atomic.make 0
+
+let progress_totals () =
+  {
+    t_solves = Atomic.get tot_solves;
+    t_conflicts = Atomic.get tot_conflicts;
+    t_restarts = Atomic.get tot_restarts;
+    t_learnt_clauses = Atomic.get tot_learnts;
+  }
+
+(* Learnt-clause LBD distribution: one bin per LBD value, last bin
+   collects everything >= lbd_bins - 1. Kept per solver (plain ints,
+   single-domain) unlike the global [m_lbd] histogram. *)
+let lbd_bins = 33
 
 (* Truth value of a literal/variable: we store, per variable, the parity
    of the true literal (0 if the variable is true, 1 if false), or -1
@@ -37,15 +99,6 @@ type clause = {
   mutable act : float;
   mutable lbd : int;
   mutable deleted : bool;
-}
-
-type stats = {
-  conflicts : int;
-  decisions : int;
-  propagations : int;
-  restarts : int;
-  learnt_literals : int;
-  deleted_clauses : int;
 }
 
 type t = {
@@ -76,8 +129,14 @@ type t = {
   mutable n_decisions : int;
   mutable n_propagations : int;
   mutable n_restarts : int;
+  mutable n_learnt_clauses : int;
   mutable n_learnt_lits : int;
   mutable n_deleted : int;
+  mutable lbd_sum : int;
+  lbd_counts : int array;
+  (* progress telemetry, armed per solve call *)
+  mutable progress_stride : int;
+  mutable next_progress_at : int;
 }
 
 let create () =
@@ -110,8 +169,13 @@ let create () =
         n_decisions = 0;
         n_propagations = 0;
         n_restarts = 0;
+        n_learnt_clauses = 0;
         n_learnt_lits = 0;
         n_deleted = 0;
+        lbd_sum = 0;
+        lbd_counts = Array.make lbd_bins 0;
+        progress_stride = 0;
+        next_progress_at = max_int;
       }
   in
   Lazy.force t
@@ -545,6 +609,36 @@ let pick_branch_var t =
   in
   loop ()
 
+let progress_of t =
+  {
+    p_conflicts = t.n_conflicts;
+    p_decisions = t.n_decisions;
+    p_propagations = t.n_propagations;
+    p_restarts = t.n_restarts;
+    p_learnts = Vec.length t.learnts;
+    p_lbd_avg =
+      (if t.n_learnt_clauses = 0 then 0.0
+       else float_of_int t.lbd_sum /. float_of_int t.n_learnt_clauses);
+    p_decision_level = decision_level t;
+  }
+
+let emit_progress_sample p =
+  if Tracing.is_enabled () then
+    Tracing.counter "sat.progress"
+      [
+        ("conflicts", float_of_int p.p_conflicts);
+        ("restarts", float_of_int p.p_restarts);
+        ("learnts", float_of_int p.p_learnts);
+        ("lbd_avg", p.p_lbd_avg);
+        ("decision_level", float_of_int p.p_decision_level);
+      ]
+
+let progress_tick t =
+  t.next_progress_at <- t.n_conflicts + t.progress_stride;
+  let p = progress_of t in
+  emit_progress_sample p;
+  match Atomic.get progress_callback with Some cb -> cb p | None -> ()
+
 let search t assumptions budget =
   (* Returns Some result if decided within [budget] conflicts, None if the
      budget was exhausted (caller restarts). *)
@@ -564,8 +658,13 @@ let search t assumptions budget =
         log_add t learnt.lits;
         backtrack t btlevel;
         t.n_learnt_lits <- t.n_learnt_lits + Array.length learnt.lits;
+        t.n_learnt_clauses <- t.n_learnt_clauses + 1;
+        t.lbd_sum <- t.lbd_sum + learnt.lbd;
+        t.lbd_counts.(min learnt.lbd (lbd_bins - 1)) <-
+          t.lbd_counts.(min learnt.lbd (lbd_bins - 1)) + 1;
         Metrics.incr m_learnt_clauses;
         Metrics.observe_int m_lbd learnt.lbd;
+        if t.n_conflicts >= t.next_progress_at then progress_tick t;
         (match learnt.lits with
         | [| l |] ->
           (* Unit learnt clause: assert at level 0. *)
@@ -610,19 +709,44 @@ let search t assumptions budget =
 exception Out_of_budget
 
 let solve_aux ?(assumptions = []) ?conflict_budget t =
+  Tracing.with_span "sat.solve" @@ fun () ->
   Metrics.time m_solve_time @@ fun () ->
   Metrics.incr m_solve_calls;
+  (* Arm the progress checkpoint for this call: a positive stride when
+     a callback is installed or tracing is recording, [max_int]
+     sentinel otherwise so the per-conflict check stays one compare. *)
+  let stride =
+    let i = Atomic.get progress_interval in
+    if i > 0 then i
+    else if Tracing.is_enabled () then default_trace_interval
+    else 0
+  in
+  t.progress_stride <- stride;
+  t.next_progress_at <- (if stride = 0 then max_int else t.n_conflicts + stride);
   let conflicts0 = t.n_conflicts
   and decisions0 = t.n_decisions
   and propagations0 = t.n_propagations
   and restarts0 = t.n_restarts
+  and learnt_clauses0 = t.n_learnt_clauses
   and learnt_lits0 = t.n_learnt_lits in
   let sync_deltas () =
     Metrics.add m_conflicts (t.n_conflicts - conflicts0);
     Metrics.add m_decisions (t.n_decisions - decisions0);
     Metrics.add m_propagations (t.n_propagations - propagations0);
     Metrics.add m_restarts (t.n_restarts - restarts0);
-    Metrics.add m_learnt_literals (t.n_learnt_lits - learnt_lits0)
+    Metrics.add m_learnt_literals (t.n_learnt_lits - learnt_lits0);
+    if stride > 0 then begin
+      ignore (Atomic.fetch_and_add tot_solves 1);
+      ignore (Atomic.fetch_and_add tot_conflicts (t.n_conflicts - conflicts0));
+      ignore (Atomic.fetch_and_add tot_restarts (t.n_restarts - restarts0));
+      ignore
+        (Atomic.fetch_and_add tot_learnts (t.n_learnt_clauses - learnt_clauses0));
+      (* End-of-solve sample: even a conflict-free solve leaves one
+         data point per descent on the counter track. *)
+      emit_progress_sample (progress_of t);
+      t.progress_stride <- 0;
+      t.next_progress_at <- max_int
+    end
   in
   Fun.protect ~finally:sync_deltas @@ fun () ->
   t.model_ <- None;
@@ -695,12 +819,31 @@ let model t =
   | Some m -> Array.copy m
   | None -> invalid_arg "Solver.model: no model available"
 
+(* Defined after the clause-manipulating code: the [lbd] field label
+   would otherwise shadow [clause.lbd] for type inference. *)
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learnt_clauses : int;
+  learnt_literals : int;
+  deleted_clauses : int;
+  lbd : (int * int) list;
+}
+
 let stats t =
+  let lbd = ref [] in
+  for i = lbd_bins - 1 downto 0 do
+    if t.lbd_counts.(i) > 0 then lbd := (i, t.lbd_counts.(i)) :: !lbd
+  done;
   {
     conflicts = t.n_conflicts;
     decisions = t.n_decisions;
     propagations = t.n_propagations;
     restarts = t.n_restarts;
+    learnt_clauses = t.n_learnt_clauses;
     learnt_literals = t.n_learnt_lits;
     deleted_clauses = t.n_deleted;
+    lbd = !lbd;
   }

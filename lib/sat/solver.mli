@@ -69,11 +69,57 @@ type stats = {
   decisions : int;
   propagations : int;
   restarts : int;
+  learnt_clauses : int;
   learnt_literals : int;
   deleted_clauses : int;
+  lbd : (int * int) list;
+      (** Learnt-clause LBD distribution as [(lbd, count)] pairs,
+          ascending, zero-count bins omitted. The last bin (LBD 32)
+          collects every LBD [>= 32]. *)
 }
 
 val stats : t -> stats
+
+(** {1 Progress telemetry}
+
+    A periodic sample of the search's vital signs in the MiniSat /
+    Glucose progress-line tradition — see [docs/OBSERVABILITY.md]. *)
+
+type progress = {
+  p_conflicts : int;
+  p_decisions : int;
+  p_propagations : int;
+  p_restarts : int;
+  p_learnts : int;       (** learnt clauses currently in the database *)
+  p_lbd_avg : float;     (** mean LBD over every clause learnt so far *)
+  p_decision_level : int;
+}
+
+val set_progress : ?interval:int -> (progress -> unit) option -> unit
+(** Installs (or with [None] removes) a module-level progress hook,
+    invoked from inside the search loop every [interval] conflicts
+    (default 2048) by whichever solver instance is running. The
+    callback runs on the solving domain — with a multi-domain batch it
+    must be domain-safe (e.g. take a mutex before printing). The armed
+    per-conflict cost is one integer comparison; disarmed it is zero
+    (a [max_int] threshold that never fires).
+
+    Independently of the callback, every checkpoint — and the end of
+    every solve call — emits a ["sat.progress"] counter sample
+    (conflicts, restarts, learnts, lbd_avg, decision_level) when
+    {!Util.Tracing} is recording. *)
+
+type totals = {
+  t_solves : int;
+  t_conflicts : int;
+  t_restarts : int;
+  t_learnt_clauses : int;
+}
+
+val progress_totals : unit -> totals
+(** Cross-solver running totals, accumulated once per solve call while
+    a callback is installed or tracing is recording — what a final
+    "N solves, M conflicts" summary line reads. *)
 
 val enable_proof_logging : t -> unit
 (** Start recording a DRAT trace (additions of learnt clauses and

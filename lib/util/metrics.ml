@@ -528,6 +528,24 @@ let get_histogram_count name =
 
 let schema_version = "whyprov.metrics/1"
 
+(* Percentile over sparse power-of-two buckets: the inclusive upper
+   bound of the first bucket whose cumulative count reaches rank
+   [ceil (q * total)]. An upper bound, not an interpolation — honest
+   about what bucketed data can support. *)
+let percentile_of_buckets buckets q =
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 buckets in
+  if total = 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int total))) in
+    let rec go cum = function
+      | [] -> 0.0
+      | [ (le, _) ] -> le
+      | (le, c) :: rest -> if cum + c >= rank then le else go (cum + c) rest
+    in
+    go 0 buckets
+  end
+
 let snapshot_to_json () =
   let entries = snapshot () in
   let counters = ref [] and timers = ref [] and histograms = ref [] in
@@ -555,6 +573,9 @@ let snapshot_to_json () =
                 ("sum", Json.Num sum);
                 ("min", Json.Num min);
                 ("max", Json.Num max);
+                ("p50", Json.Num (percentile_of_buckets buckets 0.50));
+                ("p90", Json.Num (percentile_of_buckets buckets 0.90));
+                ("p99", Json.Num (percentile_of_buckets buckets 0.99));
                 ( "buckets",
                   Json.List
                     (List.map
@@ -596,8 +617,11 @@ let pp ppf () =
             count
             (if count = 1 then "" else "s")
         | Histogram_value { count; sum; min; max; buckets } ->
-          Format.fprintf ppf "%-40s n=%d sum=%g min=%g max=%g@." name count sum
-            min max;
+          Format.fprintf ppf "%-40s n=%d sum=%g min=%g max=%g p50<=%g p90<=%g p99<=%g@."
+            name count sum min max
+            (percentile_of_buckets buckets 0.50)
+            (percentile_of_buckets buckets 0.90)
+            (percentile_of_buckets buckets 0.99);
           List.iter
             (fun (le, c) -> Format.fprintf ppf "%40s   <= %-12g %d@." "" le c)
             buckets)

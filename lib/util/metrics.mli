@@ -121,6 +121,14 @@ val get_histogram_count : string -> int
 val schema_version : string
 (** The value of the ["schema"] field of JSON snapshots. *)
 
+val percentile_of_buckets : (float * int) list -> float -> float
+(** [percentile_of_buckets buckets q] with [buckets] as in
+    {!Histogram_value} (ascending [(inclusive upper bound, count)])
+    and [q] in [\[0, 1\]]: the upper bound of the first bucket whose
+    cumulative count reaches rank [ceil (q * total)] — an upper bound
+    on the [q]-quantile, not an interpolation. [0.] on empty data.
+    JSON snapshots embed [p50]/[p90]/[p99] computed this way. *)
+
 val snapshot_to_json : unit -> Json.t
 (** The snapshot as [{schema; counters; timers; histograms}] — see
     [docs/OBSERVABILITY.md] for the exact shape. *)

@@ -20,4 +20,5 @@ let () =
       Test_trace.suite;
       Test_circuit.suite;
       Test_batch.suite;
+      Test_tracing.suite;
     ]

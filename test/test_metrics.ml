@@ -118,6 +118,40 @@ let test_histogram_buckets () =
   Alcotest.(check int) "le=4 gets 3" 1 (bucket 4.0);
   Alcotest.(check int) "le=1024 gets 1024" 1 (bucket 1024.0)
 
+let test_histogram_percentiles () =
+  (* percentile_of_buckets reports the upper bound of the bucket holding
+     the rank-ceil(q*n) observation — no interpolation. *)
+  let buckets = [ (1.0, 5); (2.0, 3); (4.0, 1); (8.0, 1) ] in
+  Alcotest.(check (float 1e-9)) "p50 in first bucket" 1.0
+    (M.percentile_of_buckets buckets 0.5);
+  Alcotest.(check (float 1e-9)) "p90 lands on rank 9" 4.0
+    (M.percentile_of_buckets buckets 0.9);
+  Alcotest.(check (float 1e-9)) "p99 is the max bucket" 8.0
+    (M.percentile_of_buckets buckets 0.99);
+  Alcotest.(check (float 1e-9)) "empty histogram" 0.0
+    (M.percentile_of_buckets [] 0.5);
+  Alcotest.(check (float 1e-9)) "single bucket" 16.0
+    (M.percentile_of_buckets [ (16.0, 1) ] 0.99);
+  (* And the JSON snapshot embeds the three quantiles. *)
+  let h = M.histogram "test.pct" in
+  List.iter (M.observe_int h) [ 1; 1; 1; 1; 1; 1; 1; 1; 1; 100 ];
+  let json = M.Json.parse (M.to_json_string ()) in
+  match M.Json.member "histograms" json with
+  | Some (M.Json.Obj hists) -> (
+    match List.assoc_opt "test.pct" hists with
+    | Some hist ->
+      let quantile name =
+        match M.Json.member name hist with
+        | Some (M.Json.Num v) -> v
+        | _ -> Alcotest.failf "histogram JSON missing %s" name
+      in
+      Alcotest.(check (float 1e-9)) "json p50" 1.0 (quantile "p50");
+      Alcotest.(check (float 1e-9)) "json p90" 1.0 (quantile "p90");
+      (* 100 lands in the le=128 power-of-two bucket. *)
+      Alcotest.(check (float 1e-9)) "json p99" 128.0 (quantile "p99")
+    | None -> Alcotest.fail "test.pct missing from histograms")
+  | _ -> Alcotest.fail "snapshot must have a histograms section"
+
 (* --- Registry ----------------------------------------------------------- *)
 
 let test_reset_and_omission () =
@@ -233,6 +267,8 @@ let suite =
       Alcotest.test_case "timer exception safety" `Quick
         (with_metrics test_timer_exception_safe);
       Alcotest.test_case "histogram buckets" `Quick (with_metrics test_histogram_buckets);
+      Alcotest.test_case "histogram percentiles" `Quick
+        (with_metrics test_histogram_percentiles);
       Alcotest.test_case "reset and omission" `Quick (with_metrics test_reset_and_omission);
       Alcotest.test_case "json parse" `Quick (with_metrics test_json_parse);
       Alcotest.test_case "json round-trip" `Quick (with_metrics test_json_roundtrip);
