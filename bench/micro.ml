@@ -43,12 +43,51 @@ let doctors_fixture =
      let goal = List.hd (W.Scenario.pick_answers ~seed:3 scenario db 1) in
      (program, db, model, goal))
 
+(* Preprocessing kernels on the captured Andersen formula: the raw
+   occurrence-list build (every technique off, so load + top-level
+   propagation only), one backward subsumption + self-subsumption
+   pass, and the resolvent distribution of a single bounded variable
+   elimination (bve_max_elim=1 isolates one occurrence-sorted pivot on
+   top of the build). *)
+let preprocess_tests closure =
+  let encoding = P.Encode.make ~capture:true ~preprocess:false closure in
+  let raw_clauses =
+    match P.Encode.captured_clauses encoding with
+    | Some clauses -> clauses
+    | None -> assert false
+  in
+  let nvars = (P.Encode.stats encoding).P.Encode.variables in
+  let none _ = false in
+  let cfg ~subsumption ~bve ?(bve_max_elim = max_int) () =
+    {
+      Sat.Preprocess.default with
+      subsumption;
+      self_subsumption = subsumption;
+      bve;
+      probing = false;
+      bve_max_elim;
+    }
+  in
+  let kernel config () =
+    ignore (Sat.Preprocess.simplify ~config ~nvars ~frozen:none raw_clauses)
+  in
+  [
+    Test.make ~name:"preprocess:occurrence-build"
+      (Staged.stage (kernel (cfg ~subsumption:false ~bve:false ())));
+    Test.make ~name:"preprocess:subsumption-pass"
+      (Staged.stage (kernel (cfg ~subsumption:true ~bve:false ())));
+    Test.make ~name:"preprocess:bve-one-var"
+      (Staged.stage
+         (kernel (cfg ~subsumption:false ~bve:true ~bve_max_elim:1 ())));
+  ]
+
 let tests () =
   let program, db, model, goal = Lazy.force andersen_fixture in
   let dprogram, ddb, dmodel, dgoal = Lazy.force doctors_fixture in
   let closure = P.Closure.build_with_model program ~model db goal in
   let dclosure = P.Closure.build_with_model dprogram ~model:dmodel ddb dgoal in
-  [
+  preprocess_tests closure
+  @ [
     (* Table 1: program classification over the five programs. *)
     Test.make ~name:"table1:classify"
       (Staged.stage (fun () ->

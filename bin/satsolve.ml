@@ -1,25 +1,32 @@
 (* satsolve — standalone DIMACS front end to the CDCL substrate.
 
-   Usage: satsolve [--stats[=json]] [--trace FILE] [--progress[=N]] FILE.cnf
+   Usage: satsolve [--stats[=json]] [--trace FILE] [--progress[=N]]
+                   [--no-preprocess] FILE.cnf
    Prints "s SATISFIABLE" with a "v ..." model line, or "s UNSATISFIABLE",
    in the conventional SAT-competition output format, plus solver
    statistics on stderr — including the learnt-clause LBD distribution.
-   With --stats the pipeline metrics registry (docs/OBSERVABILITY.md) is
-   enabled and its snapshot is printed on stderr as well — human-readable
-   by default, one JSON line with --stats=json. --trace FILE records the
-   structured event timeline and writes Chrome trace-event JSON on exit;
-   --progress[=N] prints a live telemetry line every N conflicts
-   (default 2048) and a one-line summary at the end. *)
+   The formula is run through the SatELite-style preprocessor
+   (Sat.Preprocess) before solving, with no frozen variables since the
+   DIMACS model is reconstructed afterwards; --no-preprocess feeds the
+   raw clauses to the solver instead. With --stats the pipeline metrics
+   registry (docs/OBSERVABILITY.md) is enabled and its snapshot is
+   printed on stderr as well — human-readable by default, one JSON line
+   with --stats=json. --trace FILE records the structured event timeline
+   and writes Chrome trace-event JSON on exit; --progress[=N] prints a
+   live telemetry line every N conflicts (default 2048) and a one-line
+   summary at the end. *)
 
 let usage () =
   prerr_endline
-    "usage: satsolve [--stats[=json]] [--trace FILE] [--progress[=N]] FILE.cnf";
+    "usage: satsolve [--stats[=json]] [--trace FILE] [--progress[=N]] \
+     [--no-preprocess] FILE.cnf";
   exit 2
 
 let () =
   let stats = ref None in
   let trace = ref None in
   let progress = ref None in
+  let preprocess = ref true in
   let rec filter args =
     match args with
     | [] -> []
@@ -34,6 +41,9 @@ let () =
       filter rest
     | "--progress" :: rest ->
       progress := Some 2048;
+      filter rest
+    | "--no-preprocess" :: rest ->
+      preprocess := false;
       filter rest
     | arg :: rest when String.length arg > 11 && String.sub arg 0 11 = "--progress=" ->
       (match int_of_string_opt (String.sub arg 11 (String.length arg - 11)) with
@@ -65,6 +75,29 @@ let () =
     let src = really_input_string ic n in
     close_in ic;
     let nvars, clauses = Sat.Dimacs.of_string src in
+    (* Nothing downstream reads individual DIMACS variables, so no
+       variable is frozen: the model is reconstructed below before the
+       "v" line is printed. *)
+    let pre =
+      if !preprocess then
+        Some (Sat.Preprocess.simplify ~nvars ~frozen:(fun _ -> false) clauses)
+      else None
+    in
+    let clauses =
+      match pre with Some p -> Sat.Preprocess.clauses p | None -> clauses
+    in
+    (match pre with
+    | None -> ()
+    | Some p ->
+      let s = Sat.Preprocess.stats p in
+      Printf.eprintf
+        "c preprocess: clauses %d->%d literals %d->%d eliminated=%d fixed=%d \
+         subsumed=%d strengthened=%d failed=%d rounds=%d\n"
+        s.Sat.Preprocess.original_clauses s.Sat.Preprocess.clauses
+        s.Sat.Preprocess.original_literals s.Sat.Preprocess.literals
+        s.Sat.Preprocess.eliminated_vars s.Sat.Preprocess.fixed_vars
+        s.Sat.Preprocess.subsumed_clauses s.Sat.Preprocess.strengthened_clauses
+        s.Sat.Preprocess.failed_literals s.Sat.Preprocess.rounds);
     let solver = Sat.Solver.create () in
     Sat.Solver.ensure_vars solver nvars;
     List.iter (Sat.Solver.add_clause solver) clauses;
@@ -116,6 +149,11 @@ let () =
     | Sat.Solver.Sat ->
       print_endline "s SATISFIABLE";
       let model = Sat.Solver.model solver in
+      let model =
+        match pre with
+        | Some p -> Sat.Preprocess.extend_model p model
+        | None -> model
+      in
       let buffer = Buffer.create 256 in
       Buffer.add_string buffer "v";
       Array.iteri

@@ -178,14 +178,18 @@ let check_derivable closure fact =
     exit 1
   end
 
-let cmd_explain () path query_pred tuple limit use_tc smallest witness =
+let cmd_explain () path query_pred tuple limit use_tc smallest witness
+    no_preprocess minimize =
   let program, db = load_checked ~query:query_pred path in
   let q = P.Explain.query program query_pred in
   let fact = P.Explain.goal q (parse_tuple tuple) in
   let closure = P.Closure.build program db fact in
   check_derivable closure fact;
+  let preprocess = not no_preprocess in
   if witness then begin
-    let enumeration = P.Enumerate.of_closure closure in
+    let enumeration =
+      P.Enumerate.of_closure ~preprocess ~minimize_blocking:minimize closure
+    in
     let rec loop i =
       if i <= limit then
         match P.Enumerate.next_with_witness enumeration with
@@ -197,11 +201,15 @@ let cmd_explain () path query_pred tuple limit use_tc smallest witness =
     in
     loop 1
   end
-  else if use_tc || smallest then begin
-    (* No flag: leave the acyclicity choice to the analyzer. *)
+  else if use_tc || smallest || no_preprocess || minimize then begin
+    (* No flag: leave the acyclicity choice to the analyzer. The
+       preprocessing/minimization toggles force the SAT enumeration
+       path (the default path may answer via the closed-form
+       explanation, where those knobs have no meaning). *)
     let acyclicity = if use_tc then Some P.Encode.Transitive_closure else None in
     let enumeration =
-      P.Enumerate.of_closure ?acyclicity ~smallest_first:smallest closure
+      P.Enumerate.of_closure ?acyclicity ~smallest_first:smallest ~preprocess
+        ~minimize_blocking:minimize closure
     in
     let members = P.Enumerate.to_list ~limit enumeration in
     List.iteri
@@ -213,7 +221,8 @@ let cmd_explain () path query_pred tuple limit use_tc smallest witness =
     Format.printf "%a@." P.Explain.pp_explanation explanation
   end
 
-let cmd_batch () path query_pred tuples all jobs limit budget =
+let cmd_batch () path query_pred tuples all jobs limit budget no_preprocess
+    minimize =
   let program, db = load_checked ~query:query_pred path in
   let q = P.Explain.query program query_pred in
   let explicit = tuples <> [] && not all in
@@ -223,7 +232,10 @@ let cmd_batch () path query_pred tuples all jobs limit budget =
     else P.Batch.All_answers q.P.Explain.answer_pred
   in
   let conflict_budget = if budget > 0 then Some budget else None in
-  let outcome = P.Batch.run ~jobs ~limit ?conflict_budget program db spec in
+  let outcome =
+    P.Batch.run ~jobs ~limit ?conflict_budget ~preprocess:(not no_preprocess)
+      ~minimize_blocking:minimize program db spec
+  in
   (* Stdout is tuple-ordered and independent of --jobs: the paired
      smoke tests diff a --jobs 1 run against a --jobs 2 run. *)
   let total_members = ref 0 in
@@ -459,6 +471,26 @@ let smallest_arg =
 let witness_arg =
   Arg.(value & flag & info [ "witness" ] ~doc:"Print an unambiguous proof tree witnessing each member.")
 
+let no_preprocess_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "no-preprocess" ]
+        ~doc:
+          "Load the raw CNF formula instead of simplifying it first \
+           (SatELite-style variable elimination, subsumption and probing). \
+           The enumerated member set is identical either way.")
+
+let minimize_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "minimize-blocking" ]
+        ~doc:
+          "Shrink each member's blocking clause by assumption-based core \
+           reduction before adding it (bounded side-solves; identical member \
+           set, shorter clauses).")
+
 let tuples_arg =
   Arg.(
     value
@@ -583,7 +615,7 @@ let answers_cmd =
 
 let explain_cmd =
   Cmd.v (Cmd.info "explain" ~doc:"Enumerate the why-provenance (unambiguous proof trees) of an answer")
-    Term.(const cmd_explain $ stats_term $ file_arg $ query_arg $ tuple_arg $ limit_arg $ tc_arg $ smallest_arg $ witness_arg)
+    Term.(const cmd_explain $ stats_term $ file_arg $ query_arg $ tuple_arg $ limit_arg $ tc_arg $ smallest_arg $ witness_arg $ no_preprocess_arg $ minimize_arg)
 
 let batch_cmd =
   Cmd.v
@@ -594,7 +626,8 @@ let batch_cmd =
           several worker domains")
     Term.(
       const cmd_batch $ stats_term $ file_arg $ query_arg $ tuples_arg
-      $ all_arg $ jobs_arg $ limit_arg $ budget_arg)
+      $ all_arg $ jobs_arg $ limit_arg $ budget_arg $ no_preprocess_arg
+      $ minimize_arg)
 
 let check_cmd =
   Cmd.v

@@ -82,6 +82,46 @@ dune exec --no-build bin/whyprov.exe -- \
   explain examples/reach.dl -q tc -t a,c --progress > /dev/null 2> "$prog"
 diff test/cli/expected_progress.txt "$prog"
 
+echo "== preprocess parity smoke (--no-preprocess must not change answers)"
+p1=$(mktemp -t whyprov-pre1.XXXXXX)
+p2=$(mktemp -t whyprov-pre2.XXXXXX)
+trap 'rm -f "$out" "$b1" "$b2" "$bstats" "$t1" "$t2" "$prog" "$p1" "$p2"' EXIT
+
+# explain: same member sets (and, in --smallest mode, the same order —
+# members come out in nondecreasing cardinality and ties are broken by
+# the same cardinality-refinement loop) with and without the
+# preprocessor.
+dune exec --no-build bin/whyprov.exe -- \
+  explain examples/reach.dl -q tc -t a,c --smallest > "$p1"
+dune exec --no-build bin/whyprov.exe -- \
+  explain examples/reach.dl -q tc -t a,c --smallest --no-preprocess > "$p2"
+diff "$p1" "$p2"
+
+# batch: per-tuple member SETS are preprocessing-invariant but the
+# production order within a tuple is solver-search order, which the
+# simplified formula may legitimately change — strip the " N." index
+# prefixes and compare sorted.
+dune exec --no-build bin/whyprov.exe -- \
+  batch examples/reach.dl -q tc --all --jobs 2 \
+  | sed 's/^ *[0-9]*\. //' | sort > "$p1"
+dune exec --no-build bin/whyprov.exe -- \
+  batch examples/reach.dl -q tc --all --jobs 2 --no-preprocess \
+  | sed 's/^ *[0-9]*\. //' | sort > "$p2"
+diff "$p1" "$p2"
+
+# satsolve: SAT/UNSAT parity (exit 10/20) on the bundled DIMACS
+# fixtures, preprocessed vs raw.
+for cnf in examples/cnf/chain.cnf examples/cnf/php43.cnf; do
+  pre=0; dune exec --no-build bin/satsolve.exe -- "$cnf" \
+    > /dev/null 2>&1 || pre=$?
+  raw=0; dune exec --no-build bin/satsolve.exe -- --no-preprocess "$cnf" \
+    > /dev/null 2>&1 || raw=$?
+  if [ "$pre" != "$raw" ]; then
+    echo "dev-check: satsolve preprocessing changed the answer on $cnf ($pre vs $raw)" >&2
+    exit 1
+  fi
+done
+
 echo "== analyzer smoke (whyprov check on examples/)"
 # Clean program: exit 0; lint-y program: warnings but exit 0, and exit 1
 # under --deny-warnings; broken program: errors and exit 1 (and

@@ -62,6 +62,8 @@ val run :
   ?conflict_budget:int ->
   ?acyclicity:Encode.acyclicity ->
   ?max_fill:int ->
+  ?preprocess:bool ->
+  ?minimize_blocking:bool ->
   Program.t ->
   Database.t ->
   spec ->
@@ -71,7 +73,8 @@ val run :
     everything runs on the calling domain. [limit] caps the members
     per tuple (default: unlimited). [conflict_budget] bounds each
     solver descent of a tuple, turning budget overruns into
-    [Budget_exhausted] instead of unbounded solving. [acyclicity] and
-    [max_fill] are passed to {!Encode.make}. *)
+    [Budget_exhausted] instead of unbounded solving. [acyclicity],
+    [max_fill] and [preprocess] are passed to {!Encode.make};
+    [minimize_blocking] to {!Enumerate.of_parts}. *)
 
 val pp_status : Format.formatter -> status -> unit

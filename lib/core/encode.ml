@@ -50,6 +50,7 @@ type stats = {
   clauses : int;
   elimination_width : int;
   fill_edges : int;
+  preprocess : Sat.Preprocess.stats option;
 }
 
 type t = {
@@ -60,6 +61,7 @@ type t = {
   captured : Sat.Lit.t list list option;
   y_witness : (int, Closure.hyperedge) Hashtbl.t;
   root_fact : Fact.t;
+  pre : Sat.Preprocess.t option;
 }
 
 (* Pairs of node ids, hashed as a single int (node counts stay well below
@@ -71,7 +73,8 @@ type elimination_order =
   | Input_order
 
 let make ?acyclicity ?(elimination_order = Min_degree)
-    ?(max_fill = max_int) ?(capture = false) ?(proof_logging = false) closure =
+    ?(max_fill = max_int) ?(capture = false) ?(proof_logging = false)
+    ?(preprocess = true) closure =
   Util.Tracing.with_span "encode.build" @@ fun () ->
   Metrics.time m_encode_time @@ fun () ->
   Metrics.incr m_encodes;
@@ -90,8 +93,13 @@ let make ?acyclicity ?(elimination_order = Min_degree)
   (* Which formula component clauses are currently charged to; the
      sections below reassign it as they start. *)
   let clause_group = ref m_clauses_graph in
+  (* Clauses are staged rather than loaded directly, so the whole
+     formula can go through {!Sat.Preprocess} before the solver sees
+     it. [captured], the clause count and the per-component counters
+     all describe the original formula. *)
+  let built = ref [] in
   let add_clause lits =
-    Sat.Solver.add_clause solver lits;
+    built := lits :: !built;
     if capture then captured := lits :: !captured;
     incr nclauses;
     Metrics.incr !clause_group
@@ -409,6 +417,41 @@ let make ?acyclicity ?(elimination_order = Min_degree)
   Metrics.add m_fill_edges !fill_edges;
   Metrics.observe_int m_elim_width !elimination_width;
   let db_facts_arr = Array.of_list (Closure.db_facts closure) in
+  let built = List.rev !built in
+  let pre =
+    if not preprocess then begin
+      List.iter (Sat.Solver.add_clause solver) built;
+      None
+    end
+    else begin
+      (* Freeze the db-fact x variables: the enumerator reads them from
+         models ([db_of_model]) and writes them into blocking clauses
+         and assumptions, so elimination must not touch them. Variables
+         allocated after this point (cardinality outputs in
+         smallest-first mode) never pass through the preprocessor at
+         all. Everything else — z/y/e auxiliaries — may be eliminated;
+         [witness_dag] re-extends models over them. *)
+      let nvars = Sat.Solver.num_vars solver in
+      let frozen = Array.make nvars false in
+      Array.iter
+        (fun f ->
+          match Fact.Table.find_opt node_var f with
+          | Some v -> frozen.(v) <- true
+          | None -> ())
+        db_facts_arr;
+      let p =
+        Sat.Preprocess.simplify ~drat:proof_logging ~nvars
+          ~frozen:(fun v -> v < nvars && frozen.(v))
+          built
+      in
+      (* The preprocessor's derivation precedes the simplified clauses
+         in the trace, keeping the DRAT proof checkable against the
+         original formula. *)
+      if proof_logging then Sat.Solver.append_proof solver (Sat.Preprocess.proof p);
+      List.iter (Sat.Solver.add_clause solver) (Sat.Preprocess.clauses p);
+      Some p
+    end
+  in
   {
     solver;
     node_var;
@@ -416,6 +459,7 @@ let make ?acyclicity ?(elimination_order = Min_degree)
     captured = (if capture then Some !captured else None);
     y_witness;
     root_fact = Closure.root closure;
+    pre;
     stats =
       {
         nodes = n;
@@ -425,6 +469,7 @@ let make ?acyclicity ?(elimination_order = Min_degree)
         clauses = !nclauses;
         elimination_width = !elimination_width;
         fill_edges = !fill_edges;
+        preprocess = Option.map Sat.Preprocess.stats pre;
       };
   }
 
@@ -464,7 +509,14 @@ let captured_clauses t = t.captured
 let witness_dag t model =
   (* Reconstruct the compressed proof DAG chosen by the model: each
      intensional fact's node uses the representative rule instance of
-     its selected hyperedge, with one child per body atom. *)
+     its selected hyperedge, with one child per body atom. The y
+     variables it reads may have been eliminated by preprocessing, so
+     the model is first re-extended to the original formula. *)
+  let model =
+    match t.pre with
+    | Some p -> Sat.Preprocess.extend_model p model
+    | None -> model
+  in
   let chosen : Closure.hyperedge Fact.Table.t = Fact.Table.create 64 in
   Hashtbl.iter
     (fun yv edge ->

@@ -46,6 +46,7 @@ val make :
   ?max_fill:int ->
   ?capture:bool ->
   ?proof_logging:bool ->
+  ?preprocess:bool ->
   Closure.t ->
   t
 (** Builds the formula and loads it into a fresh solver.
@@ -60,7 +61,16 @@ val make :
     [proof_logging] turns on DRAT proof logging on the fresh solver
     before any clause is added, so that the terminal UNSAT answer of an
     enumeration can be certified with {!Sat.Drat.check} (combine with
-    [capture] to get the original clause list the checker needs). *)
+    [capture] to get the original clause list the checker needs).
+
+    By default the staged formula is simplified by {!Sat.Preprocess}
+    before it reaches the solver — with the db-fact x variables frozen,
+    so models project onto exactly the same member sets — and only the
+    simplified clauses are loaded; [~preprocess:false] loads the raw
+    formula instead. [captured_clauses], {!stats}[.clauses] and the
+    per-component clause counters always describe the original formula
+    (the DRAT checker and the DIMACS export need it); the simplified
+    size is in {!stats}[.preprocess]. *)
 
 val captured_clauses : t -> Sat.Lit.t list list option
 (** The clause list when built with [~capture:true]. *)
@@ -100,6 +110,9 @@ type stats = {
   clauses : int;
   elimination_width : int;  (** 0 for the transitive-closure encoding *)
   fill_edges : int;         (** idem *)
+  preprocess : Sat.Preprocess.stats option;
+      (** simplification outcome; [None] when built with
+          [~preprocess:false] *)
 }
 
 val stats : t -> stats

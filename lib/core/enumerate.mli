@@ -15,6 +15,8 @@ val create :
   ?acyclicity:Encode.acyclicity ->
   ?max_fill:int ->
   ?smallest_first:bool ->
+  ?preprocess:bool ->
+  ?minimize_blocking:bool ->
   Program.t ->
   Database.t ->
   Fact.t ->
@@ -24,14 +26,25 @@ val create :
     and builds the formula eagerly. With [~smallest_first:true] a
     totalizer over the database-fact variables is added and members are
     produced in non-decreasing support size (O(|S|²) extra clauses —
-    meant for closures with up to a few thousand database facts). *)
+    meant for closures with up to a few thousand database facts).
+    [?preprocess] is forwarded to {!Encode.make} (default on);
+    [~minimize_blocking:true] additionally shrinks each member's
+    blocking clause by assumption-based core reduction (bounded
+    side-solves; identical member set, shorter clauses). *)
 
 val of_closure :
-  ?acyclicity:Encode.acyclicity -> ?max_fill:int -> ?smallest_first:bool -> Closure.t -> t
+  ?acyclicity:Encode.acyclicity ->
+  ?max_fill:int ->
+  ?smallest_first:bool ->
+  ?preprocess:bool ->
+  ?minimize_blocking:bool ->
+  Closure.t ->
+  t
 (** Same, reusing a downward closure built by the caller (used by the
     benchmark harness to time the phases separately). *)
 
-val of_parts : ?smallest_first:bool -> Closure.t -> Encode.t -> t
+val of_parts :
+  ?smallest_first:bool -> ?minimize_blocking:bool -> Closure.t -> Encode.t -> t
 (** Wraps an already-built encoding (the harness times closure and
     formula construction separately). The encoding must come from the
     given closure. *)

@@ -1,0 +1,656 @@
+module Vec = Util.Vec
+
+(* Observability (docs/OBSERVABILITY.md, "CNF preprocessor"). One
+   simplify run is one preprocess.simplify span; the counters aggregate
+   technique hits across runs, and the two histograms record per-run
+   round counts and reconstruction-stack depths. *)
+module Metrics = Util.Metrics
+module Tracing = Util.Tracing
+
+let m_time = Metrics.timer "preprocess.simplify"
+let m_runs = Metrics.counter "preprocess.runs"
+let m_clauses_in = Metrics.counter "preprocess.clauses_in"
+let m_clauses_out = Metrics.counter "preprocess.clauses_out"
+let m_eliminated = Metrics.counter "preprocess.eliminated_vars"
+let m_fixed = Metrics.counter "preprocess.fixed_vars"
+let m_subsumed = Metrics.counter "preprocess.subsumed_clauses"
+let m_strengthened = Metrics.counter "preprocess.strengthened_clauses"
+let m_failed = Metrics.counter "preprocess.failed_literals"
+let m_resolvents = Metrics.counter "preprocess.resolvents"
+let m_rounds = Metrics.histogram "preprocess.rounds"
+let m_stack_depth = Metrics.histogram "preprocess.stack_depth"
+
+type config = {
+  subsumption : bool;
+  self_subsumption : bool;
+  bve : bool;
+  probing : bool;
+  bve_growth : int;
+  bve_max_occ : int;
+  bve_max_elim : int;
+  probe_limit : int;
+  max_rounds : int;
+}
+
+let default =
+  {
+    subsumption = true;
+    self_subsumption = true;
+    bve = true;
+    probing = true;
+    bve_growth = 0;
+    bve_max_occ = 400;
+    bve_max_elim = max_int;
+    probe_limit = 4096;
+    max_rounds = 3;
+  }
+
+type stats = {
+  original_vars : int;
+  original_clauses : int;
+  original_literals : int;
+  clauses : int;
+  literals : int;
+  eliminated_vars : int;
+  fixed_vars : int;
+  subsumed_clauses : int;
+  strengthened_clauses : int;
+  failed_literals : int;
+  resolvents_added : int;
+  rounds : int;
+}
+
+(* Clauses are sorted deduplicated literal arrays. [csig] is a 62-bit
+   variable signature: a cheap necessary condition for [c ⊆ d] is
+   [csig c land lnot (csig d) = 0]. *)
+type cls = {
+  mutable lits : int array;
+  mutable deleted : bool;
+  mutable csig : int;
+  mutable in_queue : bool;
+}
+
+let v_undef = -1
+
+type t = {
+  cfg : config;
+  nvars : int;
+  frozen : int -> bool;
+  arena : cls Vec.t;
+  occ : int Vec.t array; (* literal -> indices into arena *)
+  assigns : int array;   (* var -> v_undef | parity of the true literal *)
+  eliminated : bool array;
+  units : Lit.t Vec.t;   (* pending top-level units *)
+  mutable uhead : int;
+  queue : int Vec.t;     (* subsumption work queue (arena indices) *)
+  mutable unsat : bool;
+  mutable changed : bool;
+  mutable orig_clauses : int;
+  mutable orig_literals : int;
+  (* Reconstruction stack, most recent elimination first: the variable
+     and copies of the clauses in which it occurred positively. *)
+  mutable stack : (int * int array list) list;
+  drat : Buffer.t option;
+  (* tallies *)
+  mutable n_eliminated : int;
+  mutable n_subsumed : int;
+  mutable n_strengthened : int;
+  mutable n_failed : int;
+  mutable n_resolvents : int;
+  mutable n_rounds : int;
+  (* probing scratch: epoch-stamped temporary assignment *)
+  tparity : int array;
+  tstamp : int array;
+  mutable epoch : int;
+  ttrail : Lit.t Vec.t;
+}
+
+(* --- DRAT ------------------------------------------------------------- *)
+
+let log_lits t prefix lits =
+  match t.drat with
+  | None -> ()
+  | Some buf ->
+    Buffer.add_string buf prefix;
+    Array.iter
+      (fun l ->
+        Buffer.add_string buf (string_of_int (Lit.to_int l));
+        Buffer.add_char buf ' ')
+      lits;
+    Buffer.add_string buf "0\n"
+
+let log_add t lits = log_lits t "" lits
+let log_delete t lits = log_lits t "d " lits
+
+(* --- Basics ----------------------------------------------------------- *)
+
+let sig_of lits =
+  Array.fold_left (fun s l -> s lor (1 lsl (Lit.var l mod 62))) 0 lits
+
+let lit_value t l =
+  let a = t.assigns.(Lit.var l) in
+  if a = v_undef then v_undef else if a = l land 1 then 1 else 0
+
+let contains c l =
+  let lits = c.lits in
+  let lo = ref 0 and hi = ref (Array.length lits - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let x = lits.(mid) in
+    if x = l then found := true else if x < l then lo := mid + 1 else hi := mid - 1
+  done;
+  !found
+
+(* Walk the occurrence list of [l], dropping entries whose clause died
+   or no longer contains [l]; [f] may delete or strengthen clauses, in
+   which case their entries go stale and are dropped on the next walk. *)
+let occ_iter t l f =
+  let v = t.occ.(l) in
+  let n = Vec.length v in
+  let j = ref 0 in
+  for i = 0 to n - 1 do
+    let idx = Vec.get v i in
+    let c = Vec.get t.arena idx in
+    if (not c.deleted) && contains c l then begin
+      Vec.set v !j idx;
+      incr j;
+      f c
+    end
+  done;
+  Vec.shrink v !j
+
+let enqueue_subsumption t idx =
+  let c = Vec.get t.arena idx in
+  if not c.in_queue then begin
+    c.in_queue <- true;
+    Vec.push t.queue idx
+  end
+
+let push_unit t l = Vec.push t.units l
+
+let refute t =
+  if not t.unsat then begin
+    t.unsat <- true;
+    log_add t [||]
+  end
+
+(* Normalize a literal list: sort, dedup, detect tautologies (adjacent
+   pos/neg of the same variable after sorting). *)
+let normalize lits =
+  let lits = List.sort_uniq compare lits in
+  let arr = Array.of_list lits in
+  let n = Array.length arr in
+  let taut = ref false in
+  for i = 0 to n - 2 do
+    if arr.(i + 1) = arr.(i) lxor 1 then taut := true
+  done;
+  if !taut then None else Some arr
+
+let new_clause t ?(log = false) lits =
+  if log then log_add t lits;
+  let idx = Vec.length t.arena in
+  let c = { lits; deleted = false; csig = sig_of lits; in_queue = false } in
+  Vec.push t.arena c;
+  Array.iter (fun l -> Vec.push t.occ.(l) idx) lits;
+  enqueue_subsumption t idx
+
+(* --- Top-level unit propagation --------------------------------------- *)
+
+let strengthen_by_unit t l c =
+  (* Remove the false literal [Lit.negate l] from [c]. *)
+  let keep = Array.of_list (List.filter (fun x -> x <> Lit.negate l) (Array.to_list c.lits)) in
+  match Array.length keep with
+  | 0 ->
+    refute t;
+    c.deleted <- true
+  | 1 ->
+    log_add t keep;
+    push_unit t keep.(0);
+    c.deleted <- true;
+    log_delete t c.lits
+  | _ ->
+    log_add t keep;
+    log_delete t c.lits;
+    c.lits <- keep;
+    c.csig <- sig_of keep;
+    (* Re-find our own index for the queue: cheaper to re-enqueue via a
+       scan-free path — strengthenings are rare enough that a linear
+       backlink is not worth carrying, so walk the occ list of the
+       first kept literal. *)
+    let v = t.occ.(keep.(0)) in
+    let n = Vec.length v in
+    let rec find i =
+      if i >= n then ()
+      else if Vec.get t.arena (Vec.get v i) == c then enqueue_subsumption t (Vec.get v i)
+      else find (i + 1)
+    in
+    find 0
+
+let propagate_units t =
+  while (not t.unsat) && t.uhead < Vec.length t.units do
+    let l = Vec.get t.units t.uhead in
+    t.uhead <- t.uhead + 1;
+    match lit_value t l with
+    | 1 -> ()
+    | 0 -> refute t
+    | _ ->
+      t.assigns.(Lit.var l) <- l land 1;
+      t.changed <- true;
+      (* Clauses satisfied by [l] disappear. *)
+      occ_iter t l (fun c ->
+          c.deleted <- true;
+          log_delete t c.lits);
+      Vec.clear t.occ.(l);
+      (* Clauses containing the false literal lose it. *)
+      occ_iter t (Lit.negate l) (fun c -> strengthen_by_unit t l c);
+      Vec.clear t.occ.(Lit.negate l)
+  done
+
+(* --- Subsumption / self-subsuming resolution --------------------------- *)
+
+(* [subset_flip c d flip]: every literal of [c] — with [flip] replaced
+   by its negation — occurs in [d]. [flip = -1] is plain subsumption.
+   Both literal arrays are sorted, but the flipped literal breaks the
+   order, so membership goes through binary search on [d]. *)
+let subset_flip c d flip =
+  Array.for_all
+    (fun l ->
+      let l = if l = flip then Lit.negate l else l in
+      contains d l)
+    c.lits
+
+let min_occ_lit t c =
+  let best = ref c.lits.(0) in
+  Array.iter
+    (fun l -> if Vec.length t.occ.(l) < Vec.length t.occ.(!best) then best := l)
+    c.lits;
+  !best
+
+let backward_subsume t c =
+  let nc = Array.length c.lits in
+  let pivot = min_occ_lit t c in
+  occ_iter t pivot (fun d ->
+      if d != c && (not d.deleted) && Array.length d.lits >= nc
+         && c.csig land lnot d.csig = 0
+         && subset_flip c d (-1)
+      then begin
+        d.deleted <- true;
+        log_delete t d.lits;
+        t.n_subsumed <- t.n_subsumed + 1;
+        t.changed <- true
+      end)
+
+let self_subsume t c =
+  let nc = Array.length c.lits in
+  Array.iter
+    (fun l ->
+      if not c.deleted then
+        occ_iter t (Lit.negate l) (fun d ->
+            if d != c && (not d.deleted) && Array.length d.lits >= nc
+               && c.csig land lnot d.csig = 0
+               && subset_flip c d l
+            then begin
+              (* d is strengthened by resolving with c on l. *)
+              let keep =
+                Array.of_list
+                  (List.filter (fun x -> x <> Lit.negate l) (Array.to_list d.lits))
+              in
+              t.n_strengthened <- t.n_strengthened + 1;
+              t.changed <- true;
+              match Array.length keep with
+              | 0 ->
+                refute t;
+                d.deleted <- true
+              | 1 ->
+                log_add t keep;
+                push_unit t keep.(0);
+                d.deleted <- true;
+                log_delete t d.lits
+              | _ ->
+                log_add t keep;
+                log_delete t d.lits;
+                d.lits <- keep;
+                d.csig <- sig_of keep;
+                let v = t.occ.(keep.(0)) in
+                let n = Vec.length v in
+                let rec find i =
+                  if i >= n then ()
+                  else if Vec.get t.arena (Vec.get v i) == d then
+                    enqueue_subsumption t (Vec.get v i)
+                  else find (i + 1)
+                in
+                find 0
+            end))
+    c.lits
+
+let subsumption_pass t =
+  while (not t.unsat) && not (Vec.is_empty t.queue) do
+    let idx = Vec.pop t.queue in
+    let c = Vec.get t.arena idx in
+    c.in_queue <- false;
+    if not c.deleted then begin
+      if t.cfg.subsumption then backward_subsume t c;
+      if t.cfg.self_subsumption && not c.deleted then self_subsume t c;
+      propagate_units t
+    end
+  done
+
+(* --- Failed-literal probing -------------------------------------------- *)
+
+let tvalue t l =
+  let v = Lit.var l in
+  if t.assigns.(v) <> v_undef then lit_value t l
+  else if t.tstamp.(v) = t.epoch then
+    if t.tparity.(v) = l land 1 then 1 else 0
+  else v_undef
+
+let tassign t l =
+  let v = Lit.var l in
+  t.tparity.(v) <- l land 1;
+  t.tstamp.(v) <- t.epoch;
+  Vec.push t.ttrail l
+
+(* Assume [l] and propagate without watches (occurrence-list scans);
+   returns [true] when a conflict was reached, i.e. [l] failed. *)
+let probe_literal t l =
+  t.epoch <- t.epoch + 1;
+  Vec.clear t.ttrail;
+  tassign t l;
+  let conflict = ref false in
+  let head = ref 0 in
+  while (not !conflict) && !head < Vec.length t.ttrail do
+    let p = Vec.get t.ttrail !head in
+    incr head;
+    occ_iter t (Lit.negate p) (fun c ->
+        if not !conflict then begin
+          let satisfied = ref false in
+          let unassigned = ref 0 in
+          let last = ref 0 in
+          Array.iter
+            (fun x ->
+              match tvalue t x with
+              | 1 -> satisfied := true
+              | 0 -> ()
+              | _ ->
+                incr unassigned;
+                last := x)
+            c.lits;
+          if not !satisfied then
+            if !unassigned = 0 then conflict := true
+            else if !unassigned = 1 && tvalue t !last = v_undef then tassign t !last
+        end)
+  done;
+  !conflict
+
+let probe_pass t =
+  let probes = ref 0 in
+  let v = ref 0 in
+  while (not t.unsat) && !v < t.nvars && !probes < t.cfg.probe_limit do
+    if t.assigns.(!v) = v_undef && not t.eliminated.(!v) then begin
+      let has_occ =
+        Vec.length t.occ.(Lit.pos !v) > 0 || Vec.length t.occ.(Lit.neg !v) > 0
+      in
+      if has_occ then
+        List.iter
+          (fun l ->
+            if (not t.unsat) && t.assigns.(!v) = v_undef && !probes < t.cfg.probe_limit
+            then begin
+              incr probes;
+              if probe_literal t l then begin
+                t.n_failed <- t.n_failed + 1;
+                t.changed <- true;
+                log_add t [| Lit.negate l |];
+                push_unit t (Lit.negate l);
+                propagate_units t
+              end
+            end)
+          [ Lit.pos !v; Lit.neg !v ]
+    end;
+    incr v
+  done
+
+(* --- Bounded variable elimination -------------------------------------- *)
+
+let resolve_on v c d =
+  (* Resolvent of [c] (contains pos v) and [d] (contains neg v); [None]
+     on tautology. Both inputs are sorted, so merge. *)
+  let keep = ref [] in
+  let taut = ref false in
+  let add l =
+    if l <> Lit.pos v && l <> Lit.neg v then keep := l :: !keep
+  in
+  Array.iter add c.lits;
+  Array.iter add d.lits;
+  let arr = Array.of_list (List.sort_uniq compare !keep) in
+  for i = 0 to Array.length arr - 2 do
+    if arr.(i + 1) = arr.(i) lxor 1 then taut := true
+  done;
+  if !taut then None else Some arr
+
+let try_eliminate t v =
+  if
+    t.frozen v || t.eliminated.(v) || t.assigns.(v) <> v_undef
+    || t.n_eliminated >= t.cfg.bve_max_elim
+  then ()
+  else begin
+    let pos = ref [] and neg = ref [] in
+    occ_iter t (Lit.pos v) (fun c -> pos := c :: !pos);
+    occ_iter t (Lit.neg v) (fun c -> neg := c :: !neg);
+    let pos = !pos and neg = !neg in
+    let np = List.length pos and nn = List.length neg in
+    let total = np + nn in
+    if total = 0 || total > t.cfg.bve_max_occ then ()
+    else begin
+      (* Distribute: the elimination is admitted when the resolvent set
+         is no larger than the clause set it replaces. *)
+      let bound = total + t.cfg.bve_growth in
+      let resolvents = ref [] in
+      let count = ref 0 in
+      let aborted = ref false in
+      List.iter
+        (fun c ->
+          if not !aborted then
+            List.iter
+              (fun d ->
+                if not !aborted then
+                  match resolve_on v c d with
+                  | None -> ()
+                  | Some r ->
+                    incr count;
+                    if !count > bound then aborted := true
+                    else resolvents := r :: !resolvents)
+              neg)
+        pos;
+      if not !aborted then begin
+        (* Additions before deletions, so every resolvent checks as RUP
+           against the clauses it was distributed from. *)
+        List.iter
+          (fun r ->
+            t.n_resolvents <- t.n_resolvents + 1;
+            match Array.length r with
+            | 1 ->
+              log_add t r;
+              push_unit t r.(0)
+            | _ -> new_clause t ~log:true r)
+          (List.rev !resolvents);
+        t.stack <-
+          (v, List.map (fun c -> Array.copy c.lits) pos) :: t.stack;
+        List.iter
+          (fun c ->
+            c.deleted <- true;
+            log_delete t c.lits)
+          pos;
+        List.iter
+          (fun c ->
+            c.deleted <- true;
+            log_delete t c.lits)
+          neg;
+        Vec.clear t.occ.(Lit.pos v);
+        Vec.clear t.occ.(Lit.neg v);
+        t.eliminated.(v) <- true;
+        t.n_eliminated <- t.n_eliminated + 1;
+        t.changed <- true;
+        propagate_units t
+      end
+    end
+  end
+
+let bve_pass t =
+  (* Cheapest variables first: elimination cost (and likelihood of
+     admission) grows with the occurrence count. *)
+  let order = Array.init t.nvars (fun v -> v) in
+  let cost v = Vec.length t.occ.(Lit.pos v) + Vec.length t.occ.(Lit.neg v) in
+  Array.sort (fun a b -> Int.compare (cost a) (cost b)) order;
+  Array.iter (fun v -> if not t.unsat then try_eliminate t v) order
+
+(* --- Driver ------------------------------------------------------------ *)
+
+let simplify ?(config = default) ?(drat = false) ~nvars ~frozen clauses =
+  Tracing.with_span "preprocess.simplify" @@ fun () ->
+  Metrics.time m_time @@ fun () ->
+  Metrics.incr m_runs;
+  let t =
+    {
+      cfg = config;
+      nvars;
+      frozen;
+      arena = Vec.create ();
+      occ = Array.init (2 * nvars) (fun _ -> Vec.create ());
+      assigns = Array.make (max 1 nvars) v_undef;
+      eliminated = Array.make (max 1 nvars) false;
+      units = Vec.create ();
+      uhead = 0;
+      queue = Vec.create ();
+      unsat = false;
+      changed = false;
+      orig_clauses = 0;
+      orig_literals = 0;
+      stack = [];
+      drat = (if drat then Some (Buffer.create 1024) else None);
+      n_eliminated = 0;
+      n_subsumed = 0;
+      n_strengthened = 0;
+      n_failed = 0;
+      n_resolvents = 0;
+      n_rounds = 0;
+      tparity = Array.make (max 1 nvars) 0;
+      tstamp = Array.make (max 1 nvars) 0;
+      epoch = 0;
+      ttrail = Vec.create ();
+    }
+  in
+  t.orig_clauses <- List.length clauses;
+  t.orig_literals <- List.fold_left (fun acc c -> acc + List.length c) 0 clauses;
+  Metrics.add m_clauses_in t.orig_clauses;
+  (* Load: tautologies vanish, units feed the propagation queue,
+     everything else enters the arena (and the subsumption queue). *)
+  List.iter
+    (fun lits ->
+      match normalize lits with
+      | None -> ()
+      | Some [||] -> refute t
+      | Some [| l |] -> push_unit t l
+      | Some arr -> new_clause t arr)
+    clauses;
+  propagate_units t;
+  let continue_ = ref (not t.unsat) in
+  while !continue_ && t.n_rounds < t.cfg.max_rounds do
+    t.n_rounds <- t.n_rounds + 1;
+    t.changed <- false;
+    if t.cfg.subsumption || t.cfg.self_subsumption then subsumption_pass t;
+    if (not t.unsat) && t.cfg.probing then probe_pass t;
+    if (not t.unsat) && t.cfg.bve then bve_pass t;
+    propagate_units t;
+    continue_ := t.changed && not t.unsat
+  done;
+  Metrics.add m_eliminated t.n_eliminated;
+  Metrics.add m_subsumed t.n_subsumed;
+  Metrics.add m_strengthened t.n_strengthened;
+  Metrics.add m_failed t.n_failed;
+  Metrics.add m_resolvents t.n_resolvents;
+  Metrics.observe_int m_rounds t.n_rounds;
+  Metrics.observe_int m_stack_depth t.n_eliminated;
+  let fixed = ref 0 in
+  Array.iter (fun a -> if a <> v_undef then incr fixed) t.assigns;
+  Metrics.add m_fixed !fixed;
+  let out = ref 0 in
+  Vec.iter (fun c -> if not c.deleted then incr out) t.arena;
+  Metrics.add m_clauses_out (if t.unsat then 1 else !out + !fixed);
+  t
+
+let unsat t = t.unsat
+let nvars t = t.nvars
+let is_eliminated t v = v >= 0 && v < t.nvars && t.eliminated.(v)
+
+let clauses t =
+  if t.unsat then [ [] ]
+  else begin
+    let acc = ref [] in
+    Vec.iter
+      (fun c -> if not c.deleted then acc := Array.to_list c.lits :: !acc)
+      t.arena;
+    let acc = List.rev !acc in
+    let units = ref [] in
+    for v = t.nvars - 1 downto 0 do
+      if t.assigns.(v) <> v_undef then
+        units := [ Lit.make v (t.assigns.(v) = 0) ] :: !units
+    done;
+    !units @ acc
+  end
+
+let extend_model t m =
+  let m =
+    if Array.length m >= t.nvars then Array.copy m
+    else Array.init t.nvars (fun v -> v < Array.length m && m.(v))
+  in
+  let lit_true l = if Lit.sign l then m.(Lit.var l) else not m.(Lit.var l) in
+  (* Reverse elimination order (stack head = last eliminated): a saved
+     clause mentions only variables still live at its elimination time,
+     so each step only depends on values fixed before it. *)
+  List.iter
+    (fun (v, pos_clauses) ->
+      let needs_true =
+        List.exists
+          (fun cl ->
+            not (Array.exists (fun l -> Lit.var l <> v && lit_true l) cl))
+          pos_clauses
+      in
+      m.(v) <- needs_true)
+    t.stack;
+  m
+
+let stats t =
+  let clauses_out = ref 0 and literals_out = ref 0 in
+  Vec.iter
+    (fun c ->
+      if not c.deleted then begin
+        incr clauses_out;
+        literals_out := !literals_out + Array.length c.lits
+      end)
+    t.arena;
+  let fixed = ref 0 in
+  Array.iter (fun a -> if a <> v_undef then incr fixed) t.assigns;
+  {
+    original_vars = t.nvars;
+    original_clauses = t.orig_clauses;
+    original_literals = t.orig_literals;
+    clauses = (if t.unsat then 1 else !clauses_out + !fixed);
+    literals = (if t.unsat then 0 else !literals_out + !fixed);
+    eliminated_vars = t.n_eliminated;
+    fixed_vars = !fixed;
+    subsumed_clauses = t.n_subsumed;
+    strengthened_clauses = t.n_strengthened;
+    failed_literals = t.n_failed;
+    resolvents_added = t.n_resolvents;
+    rounds = t.n_rounds;
+  }
+
+let proof t = match t.drat with Some b -> Buffer.contents b | None -> ""
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d -> %d clauses (%d literals), %d eliminated, %d fixed, %d subsumed, %d \
+     strengthened, %d failed literals, %d rounds"
+    s.original_clauses s.clauses s.literals s.eliminated_vars s.fixed_vars
+    s.subsumed_clauses s.strengthened_clauses s.failed_literals s.rounds

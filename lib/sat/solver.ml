@@ -20,12 +20,42 @@ let m_learnt_literals = Metrics.counter "sat.learnt_literals"
 let m_deleted_clauses = Metrics.counter "sat.deleted_clauses"
 let m_db_reductions = Metrics.counter "sat.db_reductions"
 let m_lbd = Metrics.histogram "sat.lbd"
+let m_vivified = Metrics.counter "sat.vivified_clauses"
+let m_vivified_lits = Metrics.counter "sat.vivified_literals"
+let m_otf_subsumed = Metrics.counter "sat.otf_subsumed"
 
 module Tracing = Util.Tracing
 
 type result =
   | Sat
   | Unsat
+
+(* Tuning knobs, one record instead of scattered module-level constants
+   so the bench harness can sweep them. *)
+type config = {
+  restart_base : int;
+  restart_factor : float;
+  max_learnts : int;
+  max_learnts_growth_pct : int;
+  var_decay : float;
+  cla_decay : float;
+  vivify_interval : int;
+  vivify_max_clauses : int;
+  otf_subsume : bool;
+}
+
+let default_config =
+  {
+    restart_base = 100;
+    restart_factor = 2.0;
+    max_learnts = 8000;
+    max_learnts_growth_pct = 10;
+    var_decay = 0.95;
+    cla_decay = 0.999;
+    vivify_interval = 8192;
+    vivify_max_clauses = 64;
+    otf_subsume = true;
+  }
 
 (* --- Progress telemetry ------------------------------------------------
 
@@ -99,9 +129,11 @@ type clause = {
   mutable act : float;
   mutable lbd : int;
   mutable deleted : bool;
+  mutable vivified : bool;  (* already went through a vivification pass *)
 }
 
 type t = {
+  cfg : config;
   mutable clauses : clause Vec.t;
   mutable learnts : clause Vec.t;
   mutable watches : clause Vec.t array; (* indexed by literal *)
@@ -132,6 +164,10 @@ type t = {
   mutable n_learnt_clauses : int;
   mutable n_learnt_lits : int;
   mutable n_deleted : int;
+  mutable n_vivified : int;
+  mutable n_vivified_lits : int;
+  mutable n_otf_subsumed : int;
+  mutable next_vivify_at : int;
   mutable lbd_sum : int;
   lbd_counts : int array;
   (* progress telemetry, armed per solve call *)
@@ -139,10 +175,11 @@ type t = {
   mutable next_progress_at : int;
 }
 
-let create () =
+let create ?(config = default_config) () =
   let rec t =
     lazy
       {
+        cfg = config;
         clauses = Vec.create ();
         learnts = Vec.create ();
         watches = [||];
@@ -164,7 +201,7 @@ let create () =
         simp_trail_size = -1;
         default_polarity = false;
         model_ = None;
-        max_learnts = 8000;
+        max_learnts = config.max_learnts;
         n_conflicts = 0;
         n_decisions = 0;
         n_propagations = 0;
@@ -172,6 +209,12 @@ let create () =
         n_learnt_clauses = 0;
         n_learnt_lits = 0;
         n_deleted = 0;
+        n_vivified = 0;
+        n_vivified_lits = 0;
+        n_otf_subsumed = 0;
+        next_vivify_at =
+          (if config.vivify_interval > 0 then config.vivify_interval
+           else max_int);
         lbd_sum = 0;
         lbd_counts = Array.make lbd_bins 0;
         progress_stride = 0;
@@ -246,6 +289,14 @@ let enable_proof_logging t =
       Vec.iter (fun l -> log_add t [| l |]) t.trail
   end
 
+let append_proof t text =
+  (* Injects an externally derived DRAT prefix (the preprocessor's
+     trace) into the trace, so the combined proof checks against the
+     original, unsimplified clause set. No-op unless logging is on. *)
+  match t.proof_buf with
+  | None -> ()
+  | Some buf -> Buffer.add_string buf text
+
 let lit_value t l =
   let a = t.assigns.(Lit.var l) in
   if a = v_undef then v_undef else if a = l land 1 then 1 else 0
@@ -254,9 +305,6 @@ let lit_value t l =
 let decision_level t = Vec.length t.trail_lim
 
 (* --- Activity ------------------------------------------------------- *)
-
-let var_decay = 1.0 /. 0.95
-let cla_decay = 1.0 /. 0.999
 
 let bump_var t v =
   t.activity.(v) <- t.activity.(v) +. t.var_inc;
@@ -276,8 +324,8 @@ let bump_clause t c =
   end
 
 let decay_activities t =
-  t.var_inc <- t.var_inc *. var_decay;
-  t.cla_inc <- t.cla_inc *. cla_decay
+  t.var_inc <- t.var_inc /. t.cfg.var_decay;
+  t.cla_inc <- t.cla_inc /. t.cfg.cla_decay
 
 (* --- Assignment / trail --------------------------------------------- *)
 
@@ -459,7 +507,8 @@ let analyze t confl =
   let levels = Hashtbl.create 8 in
   Array.iter (fun l -> Hashtbl.replace levels t.levels.(Lit.var l) ()) lits;
   let clause =
-    { lits; learnt = true; act = 0.0; lbd = Hashtbl.length levels; deleted = false }
+    { lits; learnt = true; act = 0.0; lbd = Hashtbl.length levels;
+      deleted = false; vivified = false }
   in
   (clause, !btlevel)
 
@@ -498,7 +547,7 @@ let add_clause t lits =
       | _ ->
         let c =
           { lits = Array.of_list lits; learnt = false; act = 0.0; lbd = 0;
-            deleted = false }
+            deleted = false; vivified = false }
         in
         Vec.push t.clauses c;
         attach t c
@@ -580,6 +629,103 @@ let reduce_db t =
     sorted;
   Vec.filter_in_place (fun c -> not c.deleted) t.learnts
 
+(* --- Vivification ------------------------------------------------------
+
+   Learnt-clause distillation (Piette et al.): at decision level 0,
+   re-derive a clause under the negation of its own literals, one
+   decision level per literal. Three outcomes per literal:
+
+   - already true under the previous negations: the prefix plus this
+     literal is implied — keep it, drop the rest of the clause;
+   - already false: the literal is implied redundant — drop it;
+   - unassigned: decide its negation and propagate; a conflict means
+     the prefix alone is implied — keep it, drop the rest.
+
+   Each shortened clause is RUP against the clause set at that point
+   (the same propagations refute its negation), so the trace stays
+   DRAT-checkable. The clause stays attached throughout: the only way
+   it can influence its own distillation is by propagating its last
+   unassigned literal, which reproduces the full clause (no change). *)
+
+let vivify_clause t c =
+  assert (decision_level t = 0);
+  let lits = c.lits in
+  let len = Array.length lits in
+  let kept = Vec.create () in
+  (try
+     for i = 0 to len - 1 do
+       let l = lits.(i) in
+       match lit_value t l with
+       | 1 ->
+         Vec.push kept l;
+         raise Exit
+       | 0 -> ()
+       | _ ->
+         Vec.push kept l;
+         Vec.push t.trail_lim (Vec.length t.trail);
+         enqueue t (Lit.negate l) None;
+         if propagate t <> None then raise Exit
+     done
+   with Exit -> ());
+  backtrack t 0;
+  if Vec.length kept < len then Some (Vec.to_array kept) else None
+
+let apply_vivified t c kept =
+  t.n_vivified <- t.n_vivified + 1;
+  t.n_vivified_lits <- t.n_vivified_lits + (Array.length c.lits - Array.length kept);
+  Metrics.incr m_vivified;
+  Metrics.add m_vivified_lits (Array.length c.lits - Array.length kept);
+  match kept with
+  | [||] ->
+    c.deleted <- true;
+    t.ok <- false;
+    log_empty t
+  | [| l |] -> (
+    c.deleted <- true;
+    match lit_value t l with
+    | 1 ->
+      (* Root-satisfied; the next simplify collects the old clause. *)
+      log_delete t c.lits
+    | 0 ->
+      log_add t [| l |];
+      log_delete t c.lits;
+      t.ok <- false;
+      log_empty t
+    | _ ->
+      enqueue t l None (* logs the unit *);
+      log_delete t c.lits;
+      if propagate t <> None then begin
+        t.ok <- false;
+        log_empty t
+      end)
+  | lits ->
+    log_add t lits;
+    log_delete t c.lits;
+    c.deleted <- true;
+    let c' =
+      { lits; learnt = true; act = c.act;
+        lbd = min c.lbd (Array.length lits); deleted = false; vivified = true }
+    in
+    Vec.push t.learnts c';
+    attach t c'
+
+let vivify_round t =
+  assert (decision_level t = 0);
+  let budget = ref t.cfg.vivify_max_clauses in
+  let n = Vec.length t.learnts in
+  let i = ref 0 in
+  while t.ok && !budget > 0 && !i < n do
+    let c = Vec.get t.learnts !i in
+    incr i;
+    if (not c.deleted) && (not c.vivified) && Array.length c.lits >= 3 then begin
+      decr budget;
+      c.vivified <- true;
+      match vivify_clause t c with
+      | None -> ()
+      | Some kept -> apply_vivified t c kept
+    end
+  done
+
 (* --- Search ----------------------------------------------------------- *)
 
 let luby y x =
@@ -656,6 +802,22 @@ let search t assumptions budget =
         end;
         let learnt, btlevel = analyze t confl in
         log_add t learnt.lits;
+        (* On-the-fly subsumption: a learnt clause whose literals all
+           appear in the (learnt) conflict clause supersedes it. The
+           conflicting clause is falsified, so it is no variable's
+           reason and can be dropped immediately; the watch lists shed
+           it lazily. The DRAT add above precedes the delete. *)
+        if t.cfg.otf_subsume && confl.learnt && not confl.deleted
+           && Array.length learnt.lits < Array.length confl.lits
+           && Array.for_all
+                (fun l -> Array.exists (fun m -> m = l) confl.lits)
+                learnt.lits
+        then begin
+          confl.deleted <- true;
+          log_delete t confl.lits;
+          t.n_otf_subsumed <- t.n_otf_subsumed + 1;
+          Metrics.incr m_otf_subsumed
+        end;
         backtrack t btlevel;
         t.n_learnt_lits <- t.n_learnt_lits + Array.length learnt.lits;
         t.n_learnt_clauses <- t.n_learnt_clauses + 1;
@@ -768,7 +930,9 @@ let solve_aux ?(assumptions = []) ?conflict_budget t =
          if decision_level t = 0 then begin
            if Vec.length t.learnts > t.max_learnts then begin
              reduce_db t;
-             t.max_learnts <- t.max_learnts + (t.max_learnts / 10)
+             t.max_learnts <-
+               t.max_learnts
+               + (t.max_learnts * t.cfg.max_learnts_growth_pct / 100)
            end;
            (* Simplifying rebuilds every watch list, so only do it when
               new top-level facts appeared — crucial for incremental use
@@ -777,13 +941,23 @@ let solve_aux ?(assumptions = []) ?conflict_budget t =
              simplify t;
              t.simp_trail_size <- Vec.length t.trail
            end;
+           (* Inprocessing: distill a bounded batch of learnt clauses
+              every [vivify_interval] conflicts. *)
+           if t.ok && t.cfg.vivify_interval > 0
+              && t.n_conflicts >= t.next_vivify_at
+           then begin
+             vivify_round t;
+             t.next_vivify_at <- t.n_conflicts + t.cfg.vivify_interval
+           end;
            if not t.ok then result := Some Unsat
          end;
          if !result = None then begin
            if t.n_conflicts >= deadline then raise Out_of_budget;
            let budget =
              min
-               (int_of_float (100.0 *. luby 2.0 !restart))
+               (int_of_float
+                  (float_of_int t.cfg.restart_base
+                  *. luby t.cfg.restart_factor !restart))
                (max 1 (deadline - t.n_conflicts))
            in
            incr restart;
@@ -829,6 +1003,9 @@ type stats = {
   learnt_clauses : int;
   learnt_literals : int;
   deleted_clauses : int;
+  vivified_clauses : int;
+  vivified_literals : int;
+  otf_subsumed : int;
   lbd : (int * int) list;
 }
 
@@ -845,5 +1022,8 @@ let stats t =
     learnt_clauses = t.n_learnt_clauses;
     learnt_literals = t.n_learnt_lits;
     deleted_clauses = t.n_deleted;
+    vivified_clauses = t.n_vivified;
+    vivified_literals = t.n_vivified_lits;
+    otf_subsumed = t.n_otf_subsumed;
     lbd = !lbd;
   }

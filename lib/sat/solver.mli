@@ -26,7 +26,30 @@ type result =
   | Sat
   | Unsat
 
-val create : unit -> t
+(** Search-tuning knobs, gathered in one record so bench experiments
+    can sweep them. {!default_config} reproduces the historical
+    constants. Setting [vivify_interval] to [0] disables inprocessing
+    vivification; [otf_subsume = false] disables on-the-fly
+    subsumption during conflict analysis. *)
+type config = {
+  restart_base : int;       (** conflicts allowed in the first restart *)
+  restart_factor : float;   (** Luby sequence base for restart budgets *)
+  max_learnts : int;        (** learnt clauses kept before a DB reduction *)
+  max_learnts_growth_pct : int;
+      (** percentage growth of the learnt cap after each reduction *)
+  var_decay : float;        (** VSIDS variable-activity decay (0 < d <= 1) *)
+  cla_decay : float;        (** learnt-clause activity decay (0 < d <= 1) *)
+  vivify_interval : int;
+      (** conflicts between learnt-clause vivification rounds; 0 = off *)
+  vivify_max_clauses : int; (** clauses distilled per vivification round *)
+  otf_subsume : bool;
+      (** delete a learnt conflicting clause subsumed by the clause just
+          learnt from it (on-the-fly subsumption) *)
+}
+
+val default_config : config
+
+val create : ?config:config -> unit -> t
 
 val new_var : t -> int
 (** Allocates a fresh variable and returns its index. *)
@@ -72,6 +95,9 @@ type stats = {
   learnt_clauses : int;
   learnt_literals : int;
   deleted_clauses : int;
+  vivified_clauses : int;   (** learnt clauses shortened by vivification *)
+  vivified_literals : int;  (** literals removed by vivification *)
+  otf_subsumed : int;       (** clauses deleted by on-the-fly subsumption *)
   lbd : (int * int) list;
       (** Learnt-clause LBD distribution as [(lbd, count)] pairs,
           ascending, zero-count bins omitted. The last bin (LBD 32)
@@ -129,6 +155,13 @@ val enable_proof_logging : t -> unit
 
 val proof : t -> string
 (** The DRAT trace recorded so far (empty if logging is off). *)
+
+val append_proof : t -> string -> unit
+(** Appends externally derived DRAT lines (e.g. the {!Preprocess}
+    trace) verbatim to the trace. Call right after
+    {!enable_proof_logging}, before loading the derived clauses, so the
+    combined proof checks against the original clause set. No-op when
+    logging is off. *)
 
 val set_default_polarity : t -> bool -> unit
 (** Initial phase for unassigned variables (default [false], which makes

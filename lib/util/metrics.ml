@@ -389,6 +389,18 @@ let observe h v =
 
 let observe_int h v = observe h (float_of_int v)
 
+let observe_span_us h f =
+  (* Wall-clock a thunk into a histogram, in microseconds. The shared
+     replacement for hand-rolled [Unix.gettimeofday] bracketing: one
+     clock source, exception-safe, free when recording is disabled. *)
+  if not (Atomic.get enabled) then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () -> observe h ((Unix.gettimeofday () -. t0) *. 1e6))
+      f
+  end
+
 (* Timer spans nest through an explicit stack; each frame accumulates
    the inclusive time of its direct children so that the parent's
    self-time can be computed on [stop]. Exceptions unwind the stack via

@@ -90,6 +90,13 @@ val observe : histogram -> float -> unit
 
 val observe_int : histogram -> int -> unit
 
+val observe_span_us : histogram -> (unit -> 'a) -> 'a
+(** [observe_span_us h f] runs [f] and records its wall-clock duration
+    in microseconds into [h]. Exception-safe; exactly [f ()] when
+    recording is disabled. Unlike {!time} this does not participate in
+    span nesting — use it for histogram-valued durations such as
+    [enum.solve_us]. *)
+
 (** {1 Registry} *)
 
 val reset : unit -> unit

@@ -4,6 +4,7 @@ let () =
       Test_util.suite;
       Test_metrics.suite;
       Test_sat.suite;
+      Test_preprocess.suite;
       Test_drat.suite;
       Test_datalog.suite;
       Test_magic.suite;
