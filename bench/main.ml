@@ -15,7 +15,7 @@ let usage () =
     "usage: main.exe [--scale F] [--tuples N] [--limit N] [--timeout S] \
      [--budget N] [--seed N] [--jobs N] [--stats-out FILE.json] \
      [--trace-out FILE.json] \
-     [table1|fig1|fig2|fig3|fig4|fig5|hardness|ablation|combined|batch|analysis|preprocess|tracing|micro|all]...";
+     [table1|fig1|fig2|fig3|fig4|fig5|hardness|ablation|combined|batch|analysis|engine|preprocess|tracing|micro|all]...";
   exit 1
 
 let () =
@@ -87,6 +87,7 @@ let () =
     | "combined" -> Experiments.combined ()
     | "batch" -> Experiments.batch ()
     | "analysis" -> Experiments.analysis ()
+    | "engine" -> Experiments.engine ()
     | "preprocess" -> Experiments.preprocess ()
     | "tracing" -> Experiments.tracing ()
     | "micro" -> Micro.run ()
@@ -100,6 +101,7 @@ let () =
       Experiments.combined ();
       Experiments.batch ();
       Experiments.analysis ();
+      Experiments.engine ();
       Experiments.preprocess ();
       Experiments.tracing ();
       Micro.run ()

@@ -9,26 +9,40 @@ type t = {
 }
 
 val make : ?pos:Pos.t -> Symbol.t -> Term.t array -> t
+(** [make p terms] is the atom [p(terms)]; [pos] defaults to {!Pos.none}. *)
+
 val of_strings : string -> string list -> t
 (** Argument strings starting with an uppercase letter (or ['_']) become
     variables; anything else becomes a constant. ["_"] becomes a fresh
     anonymous variable. *)
 
 val arity : t -> int
+(** Number of arguments. *)
+
 val vars : t -> Symbol.t list
 (** Variables occurring in the atom, in order of first occurrence. *)
 
 val is_ground : t -> bool
+(** [true] iff no argument is a variable. *)
+
 val to_fact : t -> Fact.t
 (** @raise Invalid_argument if the atom is not ground. *)
 
 val of_fact : Fact.t -> t
+(** The ground atom with the fact's predicate and constants. *)
 
 val apply : (Symbol.t -> Term.t option) -> t -> t
 (** [apply subst atom] replaces each variable [v] with [subst v] when
     defined; other terms are untouched. *)
 
 val equal : t -> t -> bool
+(** Structural equality on predicate and arguments; positions ignored. *)
+
 val compare : t -> t -> int
+(** Total order consistent with {!equal}. *)
+
 val pp : Format.formatter -> t -> unit
+(** [.dl] syntax: [p(t1,...,tn)]. *)
+
 val to_string : t -> string
+(** {!pp} to a string. *)

@@ -1,5 +1,15 @@
 module Vec = Util.Vec
+module Metrics = Util.Metrics
 module SymMap = Map.Make (Int)
+
+(* Same index vocabulary as the flat engine's relations ({!Flatrel}):
+   these structural per-position indexes serve the backward joins of
+   [Eval.derivations], so their build/probe traffic belongs in the same
+   eval.index.* series (docs/OBSERVABILITY.md). *)
+let m_index_builds = Metrics.counter "eval.index.builds"
+let m_index_entries = Metrics.counter "eval.index.entries"
+let m_index_probes = Metrics.counter "eval.index.probes"
+let m_index_hits = Metrics.counter "eval.index.hits"
 
 type pos_index = (Symbol.t, int Vec.t) Hashtbl.t
 
@@ -15,7 +25,8 @@ type t = {
   mutable stores : store SymMap.t;
 }
 
-let create () = { all = Fact.Table.create 1024; stores = SymMap.empty }
+let create ?(size = 1024) () =
+  { all = Fact.Table.create size; stores = SymMap.empty }
 
 let store_of t p =
   match SymMap.find_opt p t.stores with
@@ -48,6 +59,19 @@ let add t f =
       s.indexes;
     true
   end
+
+(* Insertion without the membership pre-check: the flat engine's merge
+   ([Engine]) walks rows its relations have already deduplicated, so
+   re-hashing each fact just to learn it is fresh would double the cost
+   of the per-fact tail. *)
+let add_new t f =
+  Fact.Table.add t.all f ();
+  let s = store_of t (Fact.pred f) in
+  let fact_id = Vec.length s.store_facts in
+  Vec.push s.store_facts f;
+  Hashtbl.iter
+    (fun pos idx -> index_insert idx (Fact.args f).(pos) fact_id)
+    s.indexes
 
 let of_list l =
   let t = create () in
@@ -83,6 +107,8 @@ let ensure_index s pos =
     let idx : pos_index = Hashtbl.create 64 in
     Vec.iteri (fun i f -> index_insert idx (Fact.args f).(pos) i) s.store_facts;
     Hashtbl.add s.indexes pos idx;
+    Metrics.incr m_index_builds;
+    Metrics.add m_index_entries (Vec.length s.store_facts);
     idx
 
 let estimate t p bound =
@@ -130,9 +156,11 @@ let iter_matching t p bound f =
       | None -> ()
       | Some ((pos0, c0), _) ->
         let idx = ensure_index s pos0 in
+        Metrics.incr m_index_probes;
         (match Hashtbl.find_opt idx c0 with
         | None -> ()
         | Some ids ->
+          Metrics.incr m_index_hits;
           let rest = List.filter (fun (pos, _) -> pos <> pos0) bound in
           let matches fact =
             List.for_all (fun (pos, c) -> Symbol.equal (Fact.args fact).(pos) c) rest

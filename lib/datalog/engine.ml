@@ -1,0 +1,625 @@
+module Metrics = Util.Metrics
+module Tracing = Util.Tracing
+
+(* Same instrument names as the structural engine in [Eval]: the
+   registry is idempotent, so both engines tick the same counters and
+   the observability vocabulary stays stable across the refactor. *)
+let m_seminaive_time = Metrics.timer "eval.seminaive"
+let m_runs = Metrics.counter "eval.seminaive.runs"
+let m_rounds = Metrics.counter "eval.rounds"
+let m_derived = Metrics.counter "eval.facts_derived"
+let m_model_facts = Metrics.counter "eval.model_facts"
+let m_firings = Metrics.counter "eval.rule_firings"
+let m_tuples = Metrics.counter "eval.tuples_matched"
+let m_delta_size = Metrics.histogram "eval.delta_size"
+let m_tasks = Metrics.counter "eval.join.tasks"
+let m_probes = Metrics.counter "eval.join.probes"
+let m_scans = Metrics.counter "eval.join.scans"
+let m_index_probes = Metrics.counter "eval.index.probes"
+let m_index_hits = Metrics.counter "eval.index.hits"
+
+(* Tarjan over the predicate graph (body -> head edges). Components
+   come out sources-first, which is a topological order of the
+   condensation, so stratum 0 holds the most extensional SCCs. *)
+let strata program =
+  let preds = Program.schema program in
+  let succ : (Symbol.t, Symbol.t list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace succ p (ref [])) preds;
+  List.iter
+    (fun (r, p) ->
+      match Hashtbl.find_opt succ r with
+      | Some l -> l := p :: !l
+      | None -> ())
+    (Program.predicate_edges program);
+  let index : (Symbol.t, int) Hashtbl.t = Hashtbl.create 16 in
+  let lowlink : (Symbol.t, int) Hashtbl.t = Hashtbl.create 16 in
+  let on_stack : (Symbol.t, unit) Hashtbl.t = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let sccs = ref [] in
+  let rec visit v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          visit w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      !(Hashtbl.find succ v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.remove on_stack w;
+          if Symbol.equal w v then w :: acc else pop (w :: acc)
+      in
+      sccs := List.sort Symbol.compare (pop []) :: !sccs
+    end
+  in
+  List.iter (fun p -> if not (Hashtbl.mem index p) then visit p) preds;
+  !sccs
+
+(* ------------------------------------------------------------------ *)
+(* Domain pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A persistent pool of [n] worker domains driven by a generation
+   counter; tasks of a round are claimed with [Atomic.fetch_and_add]
+   and the coordinator participates, so [jobs = 1] never spawns. All
+   shared relation state is read-only while a generation runs — the
+   coordinator mutates it only between rounds, and the mutex handoff
+   at the generation boundary publishes those writes to the workers. *)
+type pool = {
+  mutex : Mutex.t;
+  start : Condition.t;
+  finished : Condition.t;
+  mutable generation : int;
+  mutable pending : int;
+  mutable stop : bool;
+  mutable work : int -> unit;
+  mutable ntasks : int;
+  next : int Atomic.t;
+  mutable domains : unit Domain.t list;
+}
+
+let pool_worker p =
+  let my_gen = ref 0 in
+  let rec loop () =
+    Mutex.lock p.mutex;
+    while (not p.stop) && p.generation = !my_gen do
+      Condition.wait p.start p.mutex
+    done;
+    if p.stop then Mutex.unlock p.mutex
+    else begin
+      my_gen := p.generation;
+      let work = p.work and n = p.ntasks in
+      Mutex.unlock p.mutex;
+      let rec claim () =
+        let i = Atomic.fetch_and_add p.next 1 in
+        if i < n then begin
+          work i;
+          claim ()
+        end
+      in
+      claim ();
+      Mutex.lock p.mutex;
+      p.pending <- p.pending - 1;
+      if p.pending = 0 then Condition.broadcast p.finished;
+      Mutex.unlock p.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let pool_create n =
+  let p =
+    {
+      mutex = Mutex.create ();
+      start = Condition.create ();
+      finished = Condition.create ();
+      generation = 0;
+      pending = 0;
+      stop = false;
+      work = ignore;
+      ntasks = 0;
+      next = Atomic.make 0;
+      domains = [];
+    }
+  in
+  p.domains <- List.init n (fun _ -> Domain.spawn (fun () -> pool_worker p));
+  p
+
+let pool_run p work n =
+  Mutex.lock p.mutex;
+  p.work <- work;
+  p.ntasks <- n;
+  Atomic.set p.next 0;
+  p.pending <- List.length p.domains;
+  p.generation <- p.generation + 1;
+  Condition.broadcast p.start;
+  Mutex.unlock p.mutex;
+  let rec claim () =
+    let i = Atomic.fetch_and_add p.next 1 in
+    if i < n then begin
+      work i;
+      claim ()
+    end
+  in
+  claim ();
+  Mutex.lock p.mutex;
+  while p.pending > 0 do
+    Condition.wait p.finished p.mutex
+  done;
+  Mutex.unlock p.mutex
+
+let pool_shutdown p =
+  Mutex.lock p.mutex;
+  p.stop <- true;
+  Condition.broadcast p.start;
+  Mutex.unlock p.mutex;
+  List.iter Domain.join p.domains
+
+(* ------------------------------------------------------------------ *)
+(* Plan execution                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Counters a task accumulates locally and the coordinator flushes into
+   the metrics registry after the round — workers never touch shared
+   atomics on the hot path. *)
+type task_stats = {
+  mutable s_tuples : int;
+  mutable s_probes : int;
+  mutable s_scans : int;
+  mutable s_hits : int;
+}
+
+type task = { t_plan : Plan.t; t_out : Flatrel.t; t_stats : task_stats }
+
+let make_task plan =
+  {
+    t_plan = plan;
+    t_out = Flatrel.create ~arity:(Array.length plan.Plan.p_head);
+    t_stats = { s_tuples = 0; s_probes = 0; s_scans = 0; s_hits = 0 };
+  }
+
+(* Run one compiled plan. [model] holds one relation per schema
+   predicate; the round's delta is not a separate relation but the row
+   range [ranges] of each model relation appended by the previous
+   round — semi-naive evaluation without ever copying or re-hashing a
+   delta fact. [limits] is the per-predicate row count at round start:
+   full scans stop there, and the column indexes are only extended at
+   round boundaries, so a round only ever joins against the model as it
+   stood when the round began. Derived head rows go straight into the
+   model relation when [direct] (sequential evaluation — the row
+   sequence is the task-ordered merge's, just without the task-local
+   detour), or into the task-local output otherwise. *)
+let run_task ~model ~limits ~ranges ~direct task =
+  let plan = task.t_plan in
+  let stats = task.t_stats in
+  let instrs = plan.Plan.p_instrs in
+  let n = Array.length instrs in
+  let regs = Array.make (max plan.Plan.p_nregs 1) 0 in
+  let head = plan.Plan.p_head in
+  let hw = Array.length head in
+  let hbuf = Array.make (max hw 1) 0 in
+  let model_head : Flatrel.t = Hashtbl.find model plan.Plan.p_head_pred in
+  let out = task.t_out in
+  let ground_head () =
+    for c = 0 to hw - 1 do
+      let v = head.(c) in
+      hbuf.(c) <- (if v >= 0 then v else regs.(-v - 1))
+    done
+  in
+  let emit =
+    if direct then fun () ->
+      (* One combined lookup-or-insert; duplicates of both older rounds
+         and this round's earlier emissions are rejected by the row
+         table, and the indexes stay frozen until the round boundary. *)
+      ground_head ();
+      ignore (Flatrel.append model_head hbuf 0)
+    else fun () ->
+      ground_head ();
+      if not (Flatrel.mem model_head hbuf 0) then
+        ignore (Flatrel.append out hbuf 0)
+  in
+  (* Compile the instruction array, last to first, into a chain of
+     closures built once per task: the per-row checks close only over
+     task state (register file, stats, relations), never over the row,
+     so the scan/probe loops below allocate nothing per tuple. *)
+  let rec build i =
+    if i = n then emit
+    else begin
+      let next = build (i + 1) in
+      let ins = instrs.(i) in
+      match Hashtbl.find_opt model ins.Plan.i_pred with
+      | None -> fun () -> ()
+      | Some rel ->
+        let consts = ins.Plan.i_consts
+        and checks = ins.Plan.i_checks
+        and binds = ins.Plan.i_binds
+        and dups = ins.Plan.i_dups in
+        let nconsts = Array.length consts
+        and nchecks = Array.length checks
+        and nbinds = Array.length binds
+        and ndups = Array.length dups in
+        let rec consts_ok k row =
+          k >= nconsts
+          ||
+          let col, v = consts.(k) in
+          Flatrel.get rel row col = v && consts_ok (k + 1) row
+        in
+        let rec checks_ok k row =
+          k >= nchecks
+          ||
+          let col, r = checks.(k) in
+          Flatrel.get rel row col = regs.(r) && checks_ok (k + 1) row
+        in
+        let rec dups_ok k row =
+          k >= ndups
+          ||
+          let col, r = dups.(k) in
+          Flatrel.get rel row col = regs.(r) && dups_ok (k + 1) row
+        in
+        let try_row row =
+          if consts_ok 0 row && checks_ok 0 row then begin
+            for k = 0 to nbinds - 1 do
+              let col, r = binds.(k) in
+              regs.(r) <- Flatrel.get rel row col
+            done;
+            if dups_ok 0 row then begin
+              stats.s_tuples <- stats.s_tuples + 1;
+              next ()
+            end
+          end
+        in
+        if ins.Plan.i_from_delta then begin
+          (* The delta atom (always the plan's first instruction): scan
+             the rows the previous merge appended, checking constant
+             columns inline — delta ranges are small and never carry
+             column indexes. *)
+          match Hashtbl.find_opt ranges ins.Plan.i_pred with
+          | None -> fun () -> stats.s_scans <- stats.s_scans + 1
+          | Some (lo, hi) ->
+            fun () ->
+              stats.s_scans <- stats.s_scans + 1;
+              for row = lo to hi - 1 do
+                try_row row
+              done
+        end
+        else if nconsts = 0 && nchecks = 0 then begin
+          (* Unbound scan, stopping at the round-start watermark so
+             rows appended by this round's own tasks stay invisible. *)
+          let n0 =
+            match Hashtbl.find_opt limits ins.Plan.i_pred with
+            | Some n -> n
+            | None -> Flatrel.length rel
+          in
+          fun () ->
+            stats.s_scans <- stats.s_scans + 1;
+            for row = 0 to n0 - 1 do
+              try_row row
+            done
+        end
+        else begin
+          (* Probe the bound column with the smallest index bucket; an
+             empty bucket on any bound column means zero matches. The
+             scratch refs are per-instruction, reset on entry. *)
+          let best : int Util.Vec.t option ref = ref None in
+          let best_n = ref max_int in
+          let consider col v =
+            match Flatrel.bucket rel col v with
+            | None -> best_n := 0
+            | Some rows ->
+              let nr = Util.Vec.length rows in
+              if nr < !best_n then begin
+                best := Some rows;
+                best_n := nr
+              end
+          in
+          let rec pick_consts k =
+            if k < nconsts && !best_n > 0 then begin
+              let col, v = consts.(k) in
+              consider col v;
+              pick_consts (k + 1)
+            end
+          in
+          let rec pick_checks k =
+            if k < nchecks && !best_n > 0 then begin
+              let col, r = checks.(k) in
+              consider col regs.(r);
+              pick_checks (k + 1)
+            end
+          in
+          fun () ->
+            best := None;
+            best_n := max_int;
+            pick_consts 0;
+            pick_checks 0;
+            stats.s_probes <- stats.s_probes + 1;
+            if !best_n > 0 then begin
+              stats.s_hits <- stats.s_hits + 1;
+              match !best with
+              | Some rows -> Util.Vec.iter try_row rows
+              | None -> ()
+            end
+        end
+    end
+  in
+  (build 0) ()
+
+(* ------------------------------------------------------------------ *)
+(* Semi-naive fixpoint                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let round_span round f =
+  if not (Tracing.is_enabled ()) then f ()
+  else
+    Tracing.with_span
+      ~args:[ ("round", Metrics.Json.Num (float_of_int round)) ]
+      "eval.round" f
+
+let seminaive ?ranks ?(jobs = 1) program db =
+  Tracing.with_span "eval.seminaive" @@ fun () ->
+  Metrics.time m_seminaive_time @@ fun () ->
+  Metrics.incr m_runs;
+  (* The database's facts in the order the structural engine holds its
+     model: [of_list (to_list db)] there reverses [db]'s iteration
+     order per predicate, and the final database built after the
+     fixpoint below replays this exact list, so model iteration order —
+     which leaks into closure and encoding order downstream — is
+     identical between engines. *)
+  let db_facts = Database.to_list db in
+  (* Flat relations for every schema predicate (facts of non-schema
+     predicates, which no rule can touch, reappear only in the final
+     database). *)
+  let model : (Symbol.t, Flatrel.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      Hashtbl.replace model p (Flatrel.create ~arity:(Program.arity program p)))
+    (Program.schema program);
+  List.iter
+    (fun f ->
+      match Hashtbl.find_opt model (Fact.pred f) with
+      | Some rel when Flatrel.arity rel = Fact.arity f ->
+        ignore (Flatrel.of_fact rel f)
+      | _ -> ())
+    db_facts;
+  let schema_rels =
+    List.map (fun p -> (p, Hashtbl.find model p)) (Program.schema program)
+  in
+  let init_lens =
+    List.map (fun (p, rel) -> (p, Flatrel.length rel)) schema_rels
+  in
+  (* Compile every (rule, delta position) pair once. Delta tasks are
+     ordered stratum-first (then rule id, then body position): the task
+     list is deterministic, and so is the merge that walks it. *)
+  let rules = Array.of_list (Program.rules program) in
+  let full_plans = Array.map (fun r -> Plan.compile program r ~delta:(-1)) rules in
+  let stratum_of =
+    let h : (Symbol.t, int) Hashtbl.t = Hashtbl.create 16 in
+    List.iteri
+      (fun i scc -> List.iter (fun p -> Hashtbl.replace h p i) scc)
+      (strata program);
+    fun p -> match Hashtbl.find_opt h p with Some i -> i | None -> 0
+  in
+  let delta_plans =
+    let acc = ref [] in
+    Array.iter
+      (fun r ->
+        List.iteri
+          (fun i (a : Atom.t) ->
+            if Program.is_idb program a.Atom.pred then
+              acc := Plan.compile program r ~delta:i :: !acc)
+          (Rule.body r))
+      rules;
+    List.rev !acc
+    |> List.stable_sort (fun (p : Plan.t) (q : Plan.t) ->
+           compare (stratum_of p.p_head_pred) (stratum_of q.p_head_pred))
+    |> Array.of_list
+  in
+  (* Every model column any plan may probe, indexed up front by the
+     coordinator, so no index is ever built concurrently with workers.
+     Delta atoms scan their row range instead of probing, so delta-side
+     requirements ([from_delta = true]) need no index at all — and a
+     column only the full (round-1) plans probe is dropped right after
+     round 1 rather than maintained for the rest of the fixpoint. *)
+  let cols_of plans =
+    let cols : (Symbol.t * int, unit) Hashtbl.t = Hashtbl.create 16 in
+    Array.iter
+      (fun plan ->
+        List.iter
+          (fun (pred, from_delta, col) ->
+            if not from_delta then Hashtbl.replace cols (pred, col) ())
+          (Plan.required_indexes plan))
+      plans;
+    cols
+  in
+  let full_cols = cols_of full_plans and delta_cols = cols_of delta_plans in
+  let ensure (pred, col) =
+    match Hashtbl.find_opt model pred with
+    | Some rel -> Flatrel.ensure_index rel col
+    | None -> ()
+  in
+  Hashtbl.iter (fun key () -> ensure key) full_cols;
+  Hashtbl.iter (fun key () -> ensure key) delta_cols;
+  let full_only_cols =
+    Hashtbl.fold
+      (fun key () acc ->
+        if Hashtbl.mem delta_cols key then acc else key :: acc)
+      full_cols []
+  in
+  let pool = if jobs > 1 then Some (pool_create (jobs - 1)) else None in
+  let direct = pool = None in
+  (* Per-predicate row counts at round start: the watermark full scans
+     stop at, and the [lo] of the ranges the merge publishes. *)
+  let limits : (Symbol.t, int) Hashtbl.t = Hashtbl.create 16 in
+  let snapshot () =
+    List.iter
+      (fun (p, rel) -> Hashtbl.replace limits p (Flatrel.length rel))
+      schema_rels
+  in
+  (* Round boundaries per predicate — [(round, hi)] in descending round
+     order — so the final walk can label every derived row with the
+     round that appended it. *)
+  let boundaries : (Symbol.t, (int * int) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let derived_total = ref 0 in
+  let run_tasks tasks ranges =
+    let ntasks = Array.length tasks in
+    let work i = run_task ~model ~limits ~ranges ~direct tasks.(i) in
+    (match pool with
+    | None ->
+      for i = 0 to ntasks - 1 do
+        work i
+      done
+    | Some p -> pool_run p work ntasks);
+    Metrics.add m_firings ntasks;
+    Metrics.add m_tasks ntasks;
+    if Metrics.is_enabled () then
+      Array.iter
+        (fun t ->
+          let s = t.t_stats in
+          Metrics.add m_tuples s.s_tuples;
+          Metrics.add m_probes s.s_probes;
+          Metrics.add m_scans s.s_scans;
+          Metrics.add m_index_probes s.s_probes;
+          Metrics.add m_index_hits s.s_hits)
+        tasks
+  in
+  (* Close a round deterministically. Sequential tasks appended their
+     rows to the model relations already (in task order); parallel
+     task outputs are folded in, in task order, which produces the
+     identical row sequence ([Flatrel.append] rejects cross-task
+     duplicates). Then the appended ranges — the next round's delta —
+     are replayed into the live column indexes, which workers never
+     touch mid-round. *)
+  let merge round tasks =
+    if not direct then
+      Array.iter
+        (fun t ->
+          let out = t.t_out in
+          if Flatrel.length out > 0 then begin
+            let model_rel = Hashtbl.find model t.t_plan.Plan.p_head_pred in
+            let buf = Array.make (max (Flatrel.arity out) 1) 0 in
+            Flatrel.iter out (fun row ->
+                Flatrel.read_row out row buf 0;
+                ignore (Flatrel.append model_rel buf 0))
+          end)
+        tasks;
+    let ranges : (Symbol.t, int * int) Hashtbl.t = Hashtbl.create 8 in
+    let total = ref 0 in
+    List.iter
+      (fun (pred, rel) ->
+        let lo = Hashtbl.find limits pred in
+        let hi = Flatrel.length rel in
+        if hi > lo then begin
+          Hashtbl.replace ranges pred (lo, hi);
+          total := !total + (hi - lo);
+          Metrics.add m_derived (hi - lo);
+          Flatrel.reindex_range rel lo hi;
+          let b =
+            match Hashtbl.find_opt boundaries pred with
+            | Some r -> r
+            | None ->
+              let r = ref [] in
+              Hashtbl.add boundaries pred r;
+              r
+          in
+          b := (round, hi) :: !b
+        end)
+      schema_rels;
+    derived_total := !derived_total + !total;
+    if Metrics.is_enabled () then begin
+      Metrics.observe_int m_delta_size !total;
+      Hashtbl.iter
+        (fun pred (lo, hi) ->
+          Metrics.add
+            (Metrics.counter ("eval.delta." ^ Symbol.name pred))
+            (hi - lo))
+        ranges
+    end;
+    if Tracing.is_enabled () then
+      Tracing.counter "eval.delta" [ ("facts", float_of_int !total) ];
+    (ranges, !total)
+  in
+  let finally () = Option.iter pool_shutdown pool in
+  Fun.protect ~finally @@ fun () ->
+  Symbol.with_frozen @@ fun () ->
+  (* Round 1: full evaluation of every rule over the database. *)
+  let empty : (Symbol.t, int * int) Hashtbl.t = Hashtbl.create 1 in
+  snapshot ();
+  let tasks1 = Array.map make_task full_plans in
+  round_span 1 (fun () -> run_tasks tasks1 empty);
+  Metrics.incr m_rounds;
+  List.iter
+    (fun (pred, col) ->
+      match Hashtbl.find_opt model pred with
+      | Some rel -> Flatrel.drop_index rel col
+      | None -> ())
+    full_only_cols;
+  let delta = ref (merge 1 tasks1) in
+  let round = ref 2 in
+  while snd !delta > 0 do
+    snapshot ();
+    let tasks = Array.map make_task delta_plans in
+    round_span !round (fun () -> run_tasks tasks (fst !delta));
+    Metrics.incr m_rounds;
+    delta := merge !round tasks;
+    incr round
+  done;
+  (* Materialize the model database once, pre-sized to its exact final
+     cardinality: first the database's own facts in structural-engine
+     order, then each relation's derived rows in append order — the
+     same per-predicate sequences an incremental build would produce.
+     Ranks are labelled from the recorded round boundaries. Callers
+     pass a fresh ranks table ({!Engine.seminaive}'s contract) and
+     every fact is recorded exactly once, so no membership pre-check is
+     needed. *)
+  let ndb = List.length db_facts in
+  let model_db = Database.create ~size:(ndb + !derived_total + 16) () in
+  let record round fact =
+    match ranks with
+    | Some table -> Fact.Table.add table fact round
+    | None -> ()
+  in
+  List.iter
+    (fun f ->
+      Database.add_new model_db f;
+      record 0 f)
+    db_facts;
+  List.iter
+    (fun (pred, rel) ->
+      let init = List.assoc pred init_lens in
+      let len = Flatrel.length rel in
+      if len > init then begin
+        let bounds =
+          match Hashtbl.find_opt boundaries pred with
+          | Some r -> List.rev !r
+          | None -> []
+        in
+        let cur = ref bounds in
+        for row = init to len - 1 do
+          (match !cur with
+          | (_, hi) :: rest when row >= hi ->
+            cur := rest (* boundaries are one round apart: single step *)
+          | _ -> ());
+          let rnd = match !cur with (r, _) :: _ -> r | [] -> 0 in
+          let fact = Flatrel.fact rel ~pred row in
+          Database.add_new model_db fact;
+          record rnd fact
+        done
+      end)
+    schema_rels;
+  Metrics.add m_model_facts (Database.size model_db);
+  model_db

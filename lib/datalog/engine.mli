@@ -1,0 +1,35 @@
+(** The interned flat-tuple semi-naive engine.
+
+    This is the evaluation core behind {!Eval.seminaive}: rules are
+    compiled once into flat join plans ({!Plan}), facts live in
+    per-predicate flat relations ({!Flatrel}), substitutions are plain
+    [int array] register files, and every semi-naive round fires its
+    (rule, delta-position) tasks either sequentially or across a pool
+    of OCaml 5 domains with a deterministic, task-ordered delta merge —
+    the model and the derivation ranks are identical whatever [jobs]
+    is. See [docs/ARCHITECTURE.md] ("The flat engine") for the design
+    and its invariants.
+
+    Rounds are {e global} (round-synchronous over all rules), not
+    stratum-local: for positive Datalog stratification is only a
+    scheduling optimization, and global rounds are what make the
+    recorded ranks equal to the paper's [min-dag-depth] (Proposition
+    28). Strata are still computed — they order the task list and are
+    exposed for diagnostics. *)
+
+val strata : Program.t -> Symbol.t list list
+(** The strongly connected components of the program's predicate
+    graph in (a) topological order of the condensation — stratum 0
+    first. Every schema predicate appears in exactly one stratum. *)
+
+val seminaive :
+  ?ranks:int Fact.Table.t -> ?jobs:int -> Program.t -> Database.t -> Database.t
+(** [seminaive program db] computes the model [Σ(D)] — same contract
+    as {!Eval.seminaive}, which delegates here. If [ranks] is given it
+    must be fresh (empty) and is filled with the first-derivation round
+    of every model fact (0 for database facts); each fact is recorded
+    exactly once, with no membership pre-check. [jobs] (default 1) is the number of domains
+    evaluating a round's rule tasks; results do not depend on it.
+    Interning is frozen for the duration of the fixpoint
+    ({!Symbol.set_frozen}): evaluation only rearranges already-interned
+    symbols, and worker domains must never touch the intern table. *)

@@ -163,7 +163,7 @@ let naive program db =
   done;
   model
 
-let seminaive ?ranks program db =
+let seminaive_structural ?ranks program db =
   Tracing.with_span "eval.seminaive" @@ fun () ->
   Metrics.time m_seminaive_time @@ fun () ->
   Metrics.incr m_runs;
@@ -233,6 +233,10 @@ let seminaive ?ranks program db =
   done;
   Metrics.add m_model_facts (Database.size model);
   model
+
+(* The production fixpoint: the interned flat-tuple engine. The
+   structural implementation above stays as its differential oracle. *)
+let seminaive ?ranks ?jobs program db = Engine.seminaive ?ranks ?jobs program db
 
 let holds program db fact = Database.mem (seminaive program db) fact
 

@@ -26,10 +26,20 @@ val naive : Program.t -> Database.t -> Database.t
 (** Naive fixpoint; returns the model [Σ(D)] (which includes [D]).
     Used as a test oracle for [seminaive]. *)
 
-val seminaive : ?ranks:int Fact.Table.t -> Program.t -> Database.t -> Database.t
+val seminaive :
+  ?ranks:int Fact.Table.t -> ?jobs:int -> Program.t -> Database.t -> Database.t
 (** Semi-naive fixpoint; returns the model [Σ(D)]. If [ranks] is given it
     is filled with the first-derivation round of every model fact
-    (0 for database facts). *)
+    (0 for database facts). Delegates to the interned flat-tuple engine
+    ({!Engine.seminaive}); [jobs] (default 1) evaluates each round's
+    rule tasks across that many domains without changing any result. *)
+
+val seminaive_structural :
+  ?ranks:int Fact.Table.t -> Program.t -> Database.t -> Database.t
+(** The pre-{!Engine} reference implementation of [seminaive], joining
+    structural {!Atom.t}/{!binding} values directly over {!Database.t}
+    indexes. Kept as the differential-testing oracle: model, ranks and
+    round structure must agree with {!seminaive} on every program. *)
 
 val holds : Program.t -> Database.t -> Fact.t -> bool
 (** [holds p d fact] is [true] iff [fact ∈ Σ(D)]. Materializes the model. *)

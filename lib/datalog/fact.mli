@@ -10,22 +10,44 @@ type t = private {
 }
 
 val make : Symbol.t -> Symbol.t array -> t
+(** [make p args] is the fact [p(args)] over already-interned symbols. *)
+
 val of_strings : string -> string list -> t
 (** [of_strings "edge" ["a"; "b"]] is the fact [edge(a,b)]. *)
 
 val pred : t -> Symbol.t
+(** The predicate symbol. *)
+
 val args : t -> Symbol.t array
+(** The constant arguments. Callers must not mutate the array. *)
+
 val arity : t -> int
+(** Number of arguments. *)
 
 val equal : t -> t -> bool
+(** Equality on interned symbols — O(arity), no string comparison. *)
+
 val compare : t -> t -> int
+(** Total order on (predicate, arguments), by symbol ids. *)
+
 val hash : t -> int
+(** FNV-style hash of predicate and arguments. *)
+
 val pp : Format.formatter -> t -> unit
+(** [.dl] syntax: [p(c1,...,cn)]. *)
+
 val to_string : t -> string
+(** {!pp} to a string. *)
 
 module Set : Set.S with type elt = t
+(** Fact sets — the representation of supports / why-provenance members. *)
+
 module Map : Map.S with type key = t
+(** Maps keyed by fact. *)
+
 module Table : Hashtbl.S with type key = t
+(** Hash tables keyed by fact (via {!hash}) — e.g. the rank tables of
+    {!Eval.seminaive}. *)
 
 val pp_set : Format.formatter -> Set.t -> unit
 (** Prints a support as [{f1, f2, ...}] in sorted order. *)

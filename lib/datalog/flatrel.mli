@@ -1,0 +1,102 @@
+(** Flat tuple storage: one predicate's facts as rows of a single
+    [int array].
+
+    This is the in-memory representation the semi-naive engine
+    ({!Engine}) joins over — the design ported from specialized
+    flat-relation Datalog engines (see [docs/ARCHITECTURE.md]): all
+    constants are interned symbols ({!Symbol.t}), so a fact of arity
+    [k] is [k] consecutive ints in one growable backing array. Rows are
+    deduplicated through an open-addressing hash table of row ids, and
+    each column can carry a lazily built hash index from constant to
+    the row ids holding it, kept up to date by {!add} once built.
+
+    A relation is mutated only from the coordinating domain; worker
+    domains of a parallel evaluation round read concurrently through
+    {!get}, {!mem}, {!probe} and friends, which is safe because rounds
+    are phased (all writes happen in the merge step between rounds, and
+    the round barrier publishes them). *)
+
+type t
+(** A relation: a bag-free set of same-arity rows over interned ints. *)
+
+val create : arity:int -> t
+(** An empty relation whose rows have [arity] columns ([arity >= 0]). *)
+
+val arity : t -> int
+(** Number of columns of every row. *)
+
+val length : t -> int
+(** Number of (distinct) rows. *)
+
+val add : t -> int array -> int -> bool
+(** [add rel buf off] inserts the row [buf.(off) .. buf.(off+arity-1)];
+    returns [true] iff the row was not already present. Live column
+    indexes are updated. *)
+
+val add_row : t -> int array -> bool
+(** [add_row rel row] is [add rel row 0] for a row-sized array. *)
+
+val append : t -> int array -> int -> bool
+(** Like {!add} but {e without} updating live column indexes: the
+    engine's write path during a semi-naive round. Rows appended this
+    way are invisible to {!probe}/{!bucket} until {!reindex_range}
+    replays them — exactly the round isolation the engine wants. Mixing
+    [append] with probing and never calling {!reindex_range} leaves the
+    indexes incomplete. *)
+
+val reindex_range : t -> int -> int -> unit
+(** [reindex_range rel lo hi] pushes rows [lo..hi-1] into every live
+    column index, restoring the index invariant after a batch of
+    {!append}s. Ticks [eval.index.entries] per live index. *)
+
+val drop_index : t -> int -> unit
+(** [drop_index rel col] discards the column-[col] index so subsequent
+    inserts stop maintaining it. The engine drops indexes that only the
+    first (full-evaluation) round probes. *)
+
+val mem : t -> int array -> int -> bool
+(** [mem rel buf off] tests membership of the row at [off] in [buf]
+    without inserting it. *)
+
+val get : t -> int -> int -> int
+(** [get rel row col] reads one cell. {b Unchecked} — this is the join
+    runtime's innermost read, so callers must index rows they obtained
+    from {!length}, {!iter} or {!probe} and columns below {!arity}. *)
+
+val read_row : t -> int -> int array -> int -> unit
+(** [read_row rel row buf off] copies row [row] into [buf] at [off]. *)
+
+val iter : t -> (int -> unit) -> unit
+(** [iter rel f] calls [f] on every row id, in insertion order. *)
+
+val ensure_index : t -> int -> unit
+(** [ensure_index rel col] builds the column-[col] index if absent:
+    a hash table from constant to the ids of the rows holding it at
+    [col], maintained by subsequent {!add}s. Ticks the
+    [eval.index.builds] / [eval.index.entries] metrics. Must be called
+    from the coordinating domain before any concurrent {!probe}. *)
+
+val has_index : t -> int -> bool
+(** Whether the column-[col] index has been built. *)
+
+val probe_count : t -> int -> int -> int
+(** [probe_count rel col v] is the number of rows with [v] at [col] —
+    the index bucket size. The column index must have been built. *)
+
+val probe : t -> int -> int -> (int -> unit) -> unit
+(** [probe rel col v f] calls [f] on each row id with [v] at column
+    [col], in insertion order. The column index must have been built. *)
+
+val bucket : t -> int -> int -> int Util.Vec.t option
+(** [bucket rel col v] is the raw index bucket behind {!probe} — the
+    ids of the rows holding [v] at [col], ascending — or [None] when no
+    row does. One hash lookup; the join runtime sizes and scans the
+    bucket without a second one. The vector is owned by the index:
+    callers must not mutate it. *)
+
+val fact : t -> pred:Symbol.t -> int -> Fact.t
+(** Materializes row [row] as a {!Fact.t} of predicate [pred]. *)
+
+val of_fact : t -> Fact.t -> bool
+(** [of_fact rel f] inserts the argument row of [f]; returns [true] iff
+    new. The fact's arity must equal the relation's. *)

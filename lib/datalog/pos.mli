@@ -16,10 +16,14 @@ val none : t
 (** The absent position (programmatically built syntax). *)
 
 val make : ?file:string -> line:int -> col:int -> unit -> t
+(** A position; [file] defaults to [""] (anonymous source). *)
 
 val is_none : t -> bool
+(** [true] iff the position is {!none}. *)
 
 val equal : t -> t -> bool
+(** Structural equality. *)
+
 val compare : t -> t -> int
 (** Orders by line, then column, then file. *)
 
@@ -28,3 +32,4 @@ val pp : Format.formatter -> t -> unit
     ["<unknown>"] for {!none}. *)
 
 val to_string : t -> string
+(** {!pp} to a string. *)

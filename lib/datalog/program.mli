@@ -8,6 +8,8 @@ val make : Rule.t list -> t
 (** Rules are re-numbered 0..n-1 in order. *)
 
 val rules : t -> Rule.t list
+(** All rules, in id order. *)
+
 val rule : t -> int -> Rule.t
 (** Rule by id. @raise Invalid_argument on out-of-range ids. *)
 
@@ -21,7 +23,11 @@ val schema : t -> Symbol.t list
 (** [edb ∪ idb], sorted. *)
 
 val is_edb : t -> Symbol.t -> bool
+(** Membership in {!edb}. *)
+
 val is_idb : t -> Symbol.t -> bool
+(** Membership in {!idb}. *)
+
 val arity : t -> Symbol.t -> int
 (** Arity of a predicate of the schema.
     @raise Not_found if the predicate does not occur in the program. *)
@@ -49,3 +55,4 @@ val check_database : t -> Fact.Set.t -> (unit, string) result
     with the right arity. *)
 
 val pp : Format.formatter -> t -> unit
+(** The rules in [.dl] syntax, one per line. *)

@@ -23,13 +23,25 @@ val unsafe_vars : Atom.t -> Atom.t list -> Symbol.t list
     when the clause is unsafe. Exposed for the static analyzer. *)
 
 val with_id : int -> t -> t
+(** A copy of the rule with the given program id. *)
 
 val head : t -> Atom.t
+(** The head atom. *)
+
 val body : t -> Atom.t list
+(** The body atoms, in source order. *)
+
 val pos : t -> Pos.t
+(** Source position of the rule's first token. *)
+
 val vars : t -> Symbol.t list
 (** All variables of the rule, in order of first occurrence (body first). *)
 
 val equal : t -> t -> bool
+(** Structural equality on head and body; ids and positions ignored. *)
+
 val pp : Format.formatter -> t -> unit
+(** [.dl] syntax: [head :- b1, ..., bn.]. *)
+
 val to_string : t -> string
+(** {!pp} to a string. *)

@@ -8,11 +8,31 @@ type t = int
 (** An interned symbol. Equal strings intern to equal integers. *)
 
 val intern : string -> t
-(** [intern s] returns the unique symbol for the string [s]. *)
+(** [intern s] returns the unique symbol for the string [s]. Ticks the
+    [eval.intern.lookups] / [eval.intern.hits] / [eval.intern.symbols]
+    metrics.
+    @raise Invalid_argument if [s] is new while the table is frozen
+    ({!set_frozen}). *)
 
 val name : t -> string
 (** [name sym] is the string that was interned to [sym].
     @raise Invalid_argument if [sym] was never returned by {!intern}. *)
+
+val to_string : t -> string
+(** Alias of {!name}: [to_string (intern s) = s] for every [s]. *)
+
+val set_frozen : bool -> unit
+(** Freezes (or thaws) the intern table: while frozen, {!intern} of an
+    unknown string and {!fresh} raise instead of mutating the table.
+    The engine freezes interning across a fixpoint — the table is
+    global state no worker domain may touch. *)
+
+val is_frozen : unit -> bool
+(** Whether the intern table is currently frozen. *)
+
+val with_frozen : (unit -> 'a) -> 'a
+(** [with_frozen f] runs [f] with the table frozen, restoring the
+    previous state on exit (exception-safe, nestable). *)
 
 val fresh : string -> t
 (** [fresh hint] creates a brand-new symbol whose printed name starts with
@@ -25,6 +45,13 @@ val count : unit -> int
 (** Number of symbols interned so far. *)
 
 val equal : t -> t -> bool
+(** Integer equality — interning makes string equality this cheap. *)
+
 val compare : t -> t -> int
+(** Orders by interning time, {e not} alphabetically. *)
+
 val hash : t -> int
+(** The symbol itself (ids are already dense and well-distributed). *)
+
 val pp : Format.formatter -> t -> unit
+(** Prints the interned string ({!name}). *)

@@ -5,13 +5,28 @@ type t =
   | Const of Symbol.t  (** a constant from the active domain *)
 
 val var : string -> t
+(** [var s] is the variable named [s] (interning [s]). *)
+
 val const : string -> t
+(** [const s] is the constant [s] (interning [s]). *)
 
 val is_var : t -> bool
+(** [true] on [Var _]. *)
+
 val is_const : t -> bool
+(** [true] on [Const _]. *)
 
 val equal : t -> t -> bool
+(** Equality on constructor and symbol. *)
+
 val compare : t -> t -> int
+(** Variables order before constants, then by symbol id. *)
+
 val hash : t -> int
+(** Hash consistent with {!equal}. *)
+
 val pp : Format.formatter -> t -> unit
+(** The term's name — variables print uppercase as written. *)
+
 val to_string : t -> string
+(** {!pp} to a string. *)

@@ -12,8 +12,12 @@ let program_src = {|
   pt(W,Z) :- store(Y,X), pt(Y,W), pt(X,Z).
 |}
 
-let statements ?(seed = 401) ~vars () =
+let statements ?facts ?(seed = 401) ~vars () =
   let rng = Util.Rng.create seed in
+  (* A pointer variable contributes ~1.33 statements (chain copy, skip
+     edges, cluster entry, rare load/store), so a [facts] target
+     translates into a variable count by that density. *)
+  let vars = match facts with Some n -> max 8 (n * 3 / 4) | None -> vars in
   (* Program shaped like a call tree: each "function" (cluster) is a
      short chain of copies with occasional skip edges (series-parallel
      diamonds), its entry copying from a random variable of its parent

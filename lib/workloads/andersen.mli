@@ -5,7 +5,10 @@
     (address-of / copy / load / store) in five growing sizes. *)
 
 val scenario : ?scale:float -> ?seed:int -> unit -> Scenario.t
+(** The five-database scenario at the default sizes (times [scale]). *)
 
-val statements : ?seed:int -> vars:int -> unit -> Datalog.Database.t
+val statements :
+  ?facts:int -> ?seed:int -> vars:int -> unit -> Datalog.Database.t
 (** Random program with [vars] pointer variables and a proportional mix
-    of the four statement kinds. *)
+    of the four statement kinds. [facts] targets an absolute database
+    size (approximately) and overrides [vars]. *)

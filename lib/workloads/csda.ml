@@ -8,8 +8,14 @@ let program_src = {|
   null(V) :- null(U), flow(U,V).
 |}
 
-let dataflow_graph ?(seed = 501) ~points () =
+let dataflow_graph ?facts ?(seed = 501) ~points () =
   let rng = Util.Rng.create seed in
+  (* A point contributes ~1.18 flow facts on average (chain edge plus
+     occasional branches/back edges), so a [facts] target translates
+     into points by that density. *)
+  let points =
+    match facts with Some n -> max 1 (n * 100 / 118) | None -> points
+  in
   let n = max 16 points in
   let point i = Printf.sprintf "pp%d" i in
   let facts = ref [] in

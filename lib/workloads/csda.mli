@@ -6,7 +6,11 @@
     growing sizes named after those systems. *)
 
 val scenario : ?scale:float -> ?seed:int -> unit -> Scenario.t
+(** The httpd/postgresql/linux-sized databases (times [scale]). *)
 
-val dataflow_graph : ?seed:int -> points:int -> unit -> Datalog.Database.t
+val dataflow_graph :
+  ?facts:int -> ?seed:int -> points:int -> unit -> Datalog.Database.t
 (** A mostly-layered sparse dataflow graph with [points] program points,
-    a few null sources, and occasional back edges (loops). *)
+    a few null sources, and occasional back edges (loops). [facts]
+    targets an absolute database size (approximately) and overrides
+    [points]. *)

@@ -79,8 +79,15 @@ let query_sources =
       |} );
   ]
 
-let database ?(scale = 1.0) ?(seed = 201) () =
+let database ?(scale = 1.0) ?facts ?(seed = 201) () =
   let rng = Util.Rng.create seed in
+  (* The default mix below totals ≈ 17K facts at scale 1; a [facts]
+     target just rescales the whole mix proportionally. *)
+  let scale =
+    match facts with
+    | Some n -> float_of_int (max 1 n) /. 17000.0
+    | None -> scale
+  in
   let scaled base = max 1 (int_of_float (float_of_int base *. scale)) in
   let n_doctors = scaled 800
   and n_hospitals = scaled 40

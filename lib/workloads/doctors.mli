@@ -11,5 +11,7 @@ val scenarios : ?scale:float -> ?seed:int -> unit -> Scenario.t list
     and 7 are the demanding ones (wider joins, more rule alternatives,
     hence larger why-provenance families). *)
 
-val database : ?scale:float -> ?seed:int -> unit -> Datalog.Database.t
-(** The shared database (≈ 20K facts at scale 1). *)
+val database :
+  ?scale:float -> ?facts:int -> ?seed:int -> unit -> Datalog.Database.t
+(** The shared database (≈ 17K facts at scale 1). [facts] targets an
+    absolute database size (approximately) and overrides [scale]. *)

@@ -28,9 +28,16 @@ let program_src = {|
   sco(X,W) :- sco(X,Y), isa(Y,C), conj(C,W,Z).
 |}
 
-let ontology ?(scale = 1.0) ?(seed = 301) ~classes () =
+let ontology ?(scale = 1.0) ?facts ?(seed = 301) ~classes () =
   let rng = Util.Rng.create seed in
-  let n_classes = max 8 (int_of_float (float_of_int classes *. scale)) in
+  (* A class contributes ~2.6 facts (its [class] fact, ~1.2 [isa]
+     parents, and its share of conj/exists/role facts), so a [facts]
+     target translates into a class count by that density. *)
+  let n_classes =
+    match facts with
+    | Some n -> max 8 (n * 10 / 26)
+    | None -> max 8 (int_of_float (float_of_int classes *. scale))
+  in
   let n_roles = max 3 (n_classes / 20) in
   let cls i = Printf.sprintf "c%d" i
   and role i = Printf.sprintf "r%d" i in

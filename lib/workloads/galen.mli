@@ -6,6 +6,11 @@
     role hierarchy and composition), in four growing sizes. *)
 
 val scenario : ?scale:float -> ?seed:int -> unit -> Scenario.t
+(** The four-database scenario at the default sizes (times [scale]). *)
 
-val ontology : ?scale:float -> ?seed:int -> classes:int -> unit -> Datalog.Database.t
-(** A random EL ontology with roughly [classes] class names. *)
+val ontology :
+  ?scale:float -> ?facts:int -> ?seed:int -> classes:int -> unit ->
+  Datalog.Database.t
+(** A random EL ontology with roughly [classes] class names. [facts]
+    targets an absolute database size (approximately) and overrides
+    both [classes] and [scale]. *)

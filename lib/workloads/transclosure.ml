@@ -9,13 +9,17 @@ let node i = Printf.sprintf "v%d" i
 
 let edge_fact u v = Fact.of_strings "edge" [ node u; node v ]
 
-let bitcoin_like ?(scale = 1.0) ?(seed = 101) () =
+let bitcoin_like ?(scale = 1.0) ?facts ?(seed = 101) () =
   (* Transaction-graph-like: many independent wallet clusters, each a
      small DAG (coins flow forward in time, so the real graph is
      acyclic), with heavy-tailed cluster sizes. Keeps the transitive
      closure linear in the database and the downward closures narrow. *)
   let rng = Util.Rng.create seed in
-  let budget = int_of_float (8000.0 *. scale) in
+  let budget =
+    match facts with
+    | Some n -> max 1 n
+    | None -> int_of_float (8000.0 *. scale)
+  in
   let facts = ref [] in
   let emitted = ref 0 in
   let next_node = ref 0 in
@@ -34,14 +38,18 @@ let bitcoin_like ?(scale = 1.0) ?(seed = 101) () =
   done;
   Database.of_list !facts
 
-let facebook_like ?(scale = 1.0) ?(seed = 102) () =
+let facebook_like ?(scale = 1.0) ?facts ?(seed = 102) () =
   (* Social circles: communities of 8–16 members with dense directed
      intra-community edges (cyclic!), plus a few one-way bridges to
      earlier communities. Cross-community closures are dense and cyclic,
      which is exactly the regime where the paper saw the acyclicity
      encoding blow up. *)
   let rng = Util.Rng.create seed in
-  let budget = int_of_float (4000.0 *. scale) in
+  let budget =
+    match facts with
+    | Some n -> max 1 n
+    | None -> int_of_float (4000.0 *. scale)
+  in
   let facts = ref [] in
   let emitted = ref 0 in
   let next_node = ref 0 in

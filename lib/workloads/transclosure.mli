@@ -9,9 +9,16 @@
     the paper reports). *)
 
 val scenario : ?scale:float -> ?seed:int -> unit -> Scenario.t
+(** The two-database scenario at the default sizes (times [scale]). *)
 
-val bitcoin_like : ?scale:float -> ?seed:int -> unit -> Datalog.Database.t
-(** Sparse heavy-tailed digraph over the [edge/2] predicate. *)
+val bitcoin_like :
+  ?scale:float -> ?facts:int -> ?seed:int -> unit -> Datalog.Database.t
+(** Sparse heavy-tailed digraph over the [edge/2] predicate. [facts]
+    targets an absolute database size (approximately — generation
+    rounds to whole wallet clusters) and overrides [scale]; used by the
+    [engine] benchmark to sweep 10³–10⁶ facts. *)
 
-val facebook_like : ?scale:float -> ?seed:int -> unit -> Datalog.Database.t
-(** Clustered communities with dense intra-cluster edges. *)
+val facebook_like :
+  ?scale:float -> ?facts:int -> ?seed:int -> unit -> Datalog.Database.t
+(** Clustered communities with dense intra-cluster edges. [facts] as in
+    {!bitcoin_like}. *)

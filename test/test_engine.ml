@@ -1,0 +1,225 @@
+(* Differential tests for the interned flat-tuple engine ({!Engine})
+   against the structural reference implementation
+   ({!Eval.seminaive_structural}): the same model facts, the same
+   derivation rank for every fact, bit-identical backward rule-instance
+   extraction, and results independent of the worker-domain count.
+   Models are compared as sorted fact lists — the two engines agree on
+   the set and on every rank, but the join planner reorders rule bodies,
+   so the order in which a round {e first} emits a fact (and hence
+   model iteration order) may differ on non-linear programs. What must
+   be order-exact is the flat engine against {e itself} at different
+   [jobs] values, which [differential] also enforces. *)
+
+module D = Datalog
+module W = Workloads
+
+let fact = Alcotest.testable D.Fact.pp D.Fact.equal
+
+let ranked_facts table =
+  D.Fact.Table.fold (fun f r acc -> (D.Fact.to_string f, r) :: acc) table []
+  |> List.sort compare
+
+(* A rule instance as a comparable string; [Eval.derivations] returns
+   both engines' instances in the same order when the models iterate
+   identically, but the extraction contract is about the {e set}, so
+   normalize. *)
+let instances program model f =
+  D.Eval.derivations program model f
+  |> List.map (fun (r, body) ->
+         D.Rule.to_string r ^ " @ "
+         ^ String.concat ", " (List.map D.Fact.to_string body))
+  |> List.sort compare
+
+(* Run both engines and require bit-identical results. [jobs] lists the
+   domain counts the flat engine is exercised at; [extract] caps how
+   many model facts get their rule instances cross-checked. *)
+let differential ?(jobs = [ 1 ]) ?(extract = 12) name program db =
+  let r_struct = D.Fact.Table.create 64 in
+  let m_struct = D.Eval.seminaive_structural ~ranks:r_struct program db in
+  let sorted_struct =
+    List.sort D.Fact.compare (D.Database.to_list m_struct)
+  in
+  let flat_order = ref None in
+  List.iter
+    (fun j ->
+      let tag = Printf.sprintf "%s (jobs %d)" name j in
+      let r_flat = D.Fact.Table.create 64 in
+      let m_flat = D.Engine.seminaive ~ranks:r_flat ~jobs:j program db in
+      let l_flat = D.Database.to_list m_flat in
+      Alcotest.(check (list fact))
+        (tag ^ ": model") sorted_struct
+        (List.sort D.Fact.compare l_flat);
+      (* Iteration order must not depend on the domain count: the
+         direct-append path (jobs = 1) and the task-output merge path
+         (jobs > 1) must produce the same row sequence. *)
+      (match !flat_order with
+      | None -> flat_order := Some l_flat
+      | Some first ->
+        Alcotest.(check (list fact)) (tag ^ ": deterministic order") first l_flat);
+      Alcotest.(check (list (pair string int)))
+        (tag ^ ": ranks") (ranked_facts r_struct) (ranked_facts r_flat);
+      (* Spread the extraction sample across the model so it hits facts
+         of several rounds, not just the first predicate's prefix. *)
+      let n = List.length sorted_struct in
+      let stride = max 1 (n / max 1 extract) in
+      List.iteri
+        (fun i f ->
+          if i mod stride = 0 then
+            Alcotest.(check (list string))
+              (tag ^ ": instances of " ^ D.Fact.to_string f)
+              (instances program m_struct f)
+              (instances program m_flat f))
+        sorted_struct)
+    jobs
+
+(* Random positive (hence stratified) programs: safe rules over a small
+   fixed schema, head variables drawn from the body's variables. *)
+let gen_program_db =
+  QCheck.Gen.(
+    let consts = Array.init 6 (fun i -> "c" ^ string_of_int i) in
+    let vars = [| "X"; "Y"; "Z"; "W" |] in
+    (* (name, arity, is_edb) *)
+    let preds =
+      [| ("e", 2, true); ("f", 1, true); ("p", 2, false); ("q", 1, false);
+         ("s", 2, false) |]
+    in
+    let gen_const = map (fun i -> consts.(i)) (int_bound (Array.length consts - 1)) in
+    let gen_term =
+      frequency
+        [ (7, map (fun i -> D.Term.var vars.(i)) (int_bound (Array.length vars - 1)));
+          (3, map D.Term.const gen_const) ]
+    in
+    let gen_atom =
+      let* pi = int_bound (Array.length preds - 1) in
+      let name, arity, _ = preds.(pi) in
+      let+ terms = array_size (return arity) gen_term in
+      D.Atom.make (D.Symbol.intern name) terms
+    in
+    let gen_rule =
+      let* body = list_size (int_range 1 3) gen_atom in
+      let body_vars =
+        List.concat_map D.Atom.vars body |> List.sort_uniq D.Symbol.compare
+      in
+      let gen_head_term =
+        match body_vars with
+        | [] -> map D.Term.const gen_const
+        | vs ->
+          let vs = Array.of_list vs in
+          frequency
+            [ ( 8,
+                map
+                  (fun i -> D.Term.var (D.Symbol.to_string vs.(i)))
+                  (int_bound (Array.length vs - 1)) );
+              (1, map D.Term.const gen_const) ]
+      in
+      let* hi = int_bound 2 in
+      let name, arity, _ = preds.(hi + 2) (* an IDB head *) in
+      let+ head_terms = array_size (return arity) gen_head_term in
+      D.Rule.make (D.Atom.make (D.Symbol.intern name) head_terms) body
+    in
+    let gen_fact =
+      (* Mostly EDB facts, some IDB facts (databases may mention IDB
+         predicates), and the odd fact of a predicate outside the
+         program, which must pass through both engines untouched. *)
+      let* pi =
+        frequency [ (6, return 0); (2, return 1); (1, return 2); (1, return 5) ]
+      in
+      let name, arity =
+        if pi = 5 then ("ghost", 1)
+        else
+          let name, arity, _ = preds.(pi) in
+          (name, arity)
+      in
+      let+ args = list_size (return arity) gen_const in
+      D.Fact.of_strings name args
+    in
+    let* rules = list_size (int_range 2 6) gen_rule in
+    let+ facts = list_size (int_range 4 30) gen_fact in
+    (rules, facts))
+
+let arb_program_db =
+  QCheck.make gen_program_db ~print:(fun (rules, facts) ->
+      String.concat "\n" (List.map D.Rule.to_string rules)
+      ^ "\n-- db --\n"
+      ^ String.concat "\n" (List.map D.Fact.to_string facts))
+
+let prop_random_differential =
+  QCheck.Test.make ~count:80 ~name:"random programs: flat = structural"
+    arb_program_db (fun (rules, facts) ->
+      let rules = List.mapi (fun i r -> D.Rule.with_id i r) rules in
+      let program = D.Program.make rules in
+      let db = D.Database.of_list facts in
+      differential ~extract:8 "random" program db;
+      true)
+
+(* Every bundled workload, at sizes small enough to run as a test but
+   deep enough to recurse for several rounds. *)
+let test_workload_differential () =
+  let cases =
+    [ ( "transclosure",
+        (W.Transclosure.scenario ()).W.Scenario.program,
+        W.Transclosure.bitcoin_like ~facts:300 ~seed:11 () );
+      ( "csda",
+        (W.Csda.scenario ()).W.Scenario.program,
+        W.Csda.dataflow_graph ~facts:300 ~seed:12 ~points:0 () );
+      ( "andersen",
+        (W.Andersen.scenario ()).W.Scenario.program,
+        W.Andersen.statements ~facts:300 ~seed:13 ~vars:0 () );
+      ( "galen",
+        (W.Galen.scenario ()).W.Scenario.program,
+        W.Galen.ontology ~facts:200 ~seed:14 ~classes:0 () );
+      ( "doctors",
+        (List.hd (W.Doctors.scenarios ())).W.Scenario.program,
+        W.Doctors.database ~facts:300 ~seed:15 () ) ]
+  in
+  List.iter (fun (name, program, db) -> differential name program db) cases
+
+(* The same model, rank table and extraction results whatever the
+   domain count: jobs > 1 takes the task-local-output merge path, jobs
+   = 1 the direct-append path, and both must produce the identical row
+   sequence. *)
+let test_parallel_determinism () =
+  let program = (W.Transclosure.scenario ()).W.Scenario.program in
+  let db = W.Transclosure.bitcoin_like ~facts:400 ~seed:21 () in
+  differential ~jobs:[ 1; 2; 4 ] ~extract:6 "transclosure" program db;
+  let program = (W.Andersen.scenario ()).W.Scenario.program in
+  let db = W.Andersen.statements ~facts:250 ~seed:22 ~vars:0 () in
+  differential ~jobs:[ 1; 2; 4 ] ~extract:6 "andersen" program db
+
+(* [Symbol.to_string (Symbol.intern s) = s] — the round-trip every flat
+   row depends on to decode back into facts — plus the freeze contract
+   the engine relies on during a fixpoint. *)
+let test_intern_round_trip () =
+  let strings =
+    [ "a"; "edge"; ""; "UTF-8 héllo"; "with space"; "0"; "c0"; "q?~" ]
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check string) ("round-trip " ^ s) s
+        (D.Symbol.to_string (D.Symbol.intern s));
+      Alcotest.(check int) ("stable id " ^ s) (D.Symbol.intern s)
+        (D.Symbol.intern s))
+    strings;
+  let known = D.Symbol.intern "already-there" in
+  D.Symbol.with_frozen (fun () ->
+      Alcotest.(check bool) "frozen" true (D.Symbol.is_frozen ());
+      Alcotest.(check int) "frozen intern of known symbol" known
+        (D.Symbol.intern "already-there");
+      Alcotest.check_raises "frozen intern of new symbol"
+        (Invalid_argument
+           "Symbol.intern: table frozen during evaluation (new symbol \
+            \"never-seen-before-xyz\")")
+        (fun () -> ignore (D.Symbol.intern "never-seen-before-xyz")));
+  Alcotest.(check bool) "thawed again" false (D.Symbol.is_frozen ());
+  let late = D.Symbol.intern "after-thaw" in
+  Alcotest.(check string) "intern works after thaw" "after-thaw"
+    (D.Symbol.to_string late)
+
+let suite =
+  ( "engine",
+    [ Alcotest.test_case "workload differential" `Quick test_workload_differential;
+      Alcotest.test_case "parallel determinism (jobs 1/2/4)" `Quick
+        test_parallel_determinism;
+      Alcotest.test_case "intern round-trip and freezing" `Quick
+        test_intern_round_trip ]
+    @ List.map QCheck_alcotest.to_alcotest [ prop_random_differential ] )
