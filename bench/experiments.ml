@@ -835,3 +835,91 @@ let analysis () =
               cls (time_str analyze_s)))
         (pick_tuples scenario db))
     (all_scenarios ())
+
+(* --- Corpus: hardening instance families across solver configs ---------- *)
+
+(* The corpus runner (docs/HARDENING.md) over a deterministic spread of
+   generated instances — pigeonhole, Tseytin xor-chains, grid
+   colorings, phase-transition random 3-CNF — solved under every named
+   solver configuration with preprocessing on and off. Every answer is
+   cross-checked (models evaluated on the original clauses, UNSATs
+   DRAT-certified), so a nonzero failure column is a solver bug, not a
+   slow row. One stats row per (config, instance) with --stats-out
+   (BENCH_corpus.json). *)
+let corpus () =
+  header "Corpus — hardening instance families across solver configurations";
+  let rng = Util.Rng.create config.seed in
+  let nv = max 10 (int_of_float (50.0 *. config.scale)) in
+  let instances =
+    [
+      ("php54", Harden.Gen.pigeonhole ~pigeons:5 ~holes:4);
+      ("php65", Harden.Gen.pigeonhole ~pigeons:6 ~holes:5);
+      ("php66", Harden.Gen.pigeonhole ~pigeons:6 ~holes:6);
+      ("xor24-unsat", Harden.Gen.xor_chain ~length:24 ~sat:false);
+      ("xor24-sat", Harden.Gen.xor_chain ~length:24 ~sat:true);
+      ("grid663", Harden.Gen.grid_coloring ~width:6 ~height:6 ~colors:3);
+      ("grid441", Harden.Gen.grid_coloring ~width:4 ~height:4 ~colors:1);
+      ("r3-a", Harden.Gen.random_kcnf rng ~nvars:nv ~ratio:4.26);
+      ("r3-b", Harden.Gen.random_kcnf rng ~nvars:nv ~ratio:4.26);
+      ("unit", Harden.Gen.unit_conflict ());
+    ]
+  in
+  row "  %-18s %-4s | %4s %5s %8s %5s | %9s %9s\n" "config" "pre" "sat"
+    "unsat" "timeout" "fail" "total" "max";
+  let d = Sat.Solver.default_config in
+  let configs =
+    [
+      ("default", d);
+      ("fast-restarts", { d with restart_base = 16; restart_factor = 1.5 });
+      ("no-inprocessing", { d with vivify_interval = 0; otf_subsume = false });
+      ("tiny-db", { d with max_learnts = 16; max_learnts_growth_pct = 10 });
+    ]
+  in
+  List.iter
+    (fun (name, cfg) ->
+      List.iter
+        (fun preprocess ->
+          stats_begin ();
+          let opts =
+            {
+              Harden.Corpus.default_opts with
+              config_name = name;
+              config = cfg;
+              preprocess;
+              timeout_s = config.tuple_timeout;
+            }
+          in
+          let report = Harden.Corpus.run_list opts instances in
+          let total =
+            List.fold_left
+              (fun acc i -> acc +. i.Harden.Corpus.time_s)
+              0.0 report.Harden.Corpus.instances
+          in
+          let max_t =
+            List.fold_left
+              (fun acc i -> Float.max acc i.Harden.Corpus.time_s)
+              0.0 report.Harden.Corpus.instances
+          in
+          List.iter
+            (fun (i : Harden.Corpus.instance) ->
+              emit_stats_row "corpus"
+                Metrics.Json.
+                  [
+                    ("config", Str name);
+                    ("preprocess", Bool preprocess);
+                    ("instance", Str i.Harden.Corpus.name);
+                    ( "outcome",
+                      Str (Harden.Corpus.outcome_label i.Harden.Corpus.outcome)
+                    );
+                    ("time_s", Num i.Harden.Corpus.time_s);
+                    ("conflicts", Num (float_of_int i.Harden.Corpus.conflicts));
+                  ])
+            report.Harden.Corpus.instances;
+          row "  %-18s %-4s | %4d %5d %8d %5d | %9s %9s%s\n" name
+            (if preprocess then "yes" else "no")
+            report.Harden.Corpus.sat report.Harden.Corpus.unsat
+            report.Harden.Corpus.timeouts report.Harden.Corpus.failures
+            (time_str total) (time_str max_t)
+            (if report.Harden.Corpus.failures > 0 then "  <-- BUG" else ""))
+        [ true; false ])
+    configs

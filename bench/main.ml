@@ -15,7 +15,7 @@ let usage () =
     "usage: main.exe [--scale F] [--tuples N] [--limit N] [--timeout S] \
      [--budget N] [--seed N] [--jobs N] [--stats-out FILE.json] \
      [--trace-out FILE.json] \
-     [table1|fig1|fig2|fig3|fig4|fig5|hardness|ablation|combined|batch|analysis|engine|preprocess|tracing|micro|all]...";
+     [table1|fig1|fig2|fig3|fig4|fig5|hardness|ablation|combined|batch|analysis|engine|preprocess|tracing|corpus|micro|all]...";
   exit 1
 
 let () =
@@ -90,6 +90,7 @@ let () =
     | "engine" -> Experiments.engine ()
     | "preprocess" -> Experiments.preprocess ()
     | "tracing" -> Experiments.tracing ()
+    | "corpus" -> Experiments.corpus ()
     | "micro" -> Micro.run ()
     | "all" ->
       Experiments.table1 ();
@@ -104,6 +105,7 @@ let () =
       Experiments.engine ();
       Experiments.preprocess ();
       Experiments.tracing ();
+      Experiments.corpus ();
       Micro.run ()
     | other ->
       Printf.eprintf "unknown experiment %S\n" other;

@@ -74,7 +74,12 @@ let () =
     let n = in_channel_length ic in
     let src = really_input_string ic n in
     close_in ic;
-    let nvars, clauses = Sat.Dimacs.of_string src in
+    let nvars, clauses =
+      try Sat.Dimacs.of_string src
+      with Sat.Dimacs.Parse_error _ as e ->
+        Printf.eprintf "satsolve: %s: %s\n" path (Sat.Dimacs.error_message e);
+        exit 1
+    in
     (* Nothing downstream reads individual DIMACS variables, so no
        variable is frozen: the model is reconstructed below before the
        "v" line is printed. *)

@@ -173,6 +173,34 @@ elif command -v jq > /dev/null 2>&1; then
     "$out" > /dev/null
 fi
 
+echo "== hardening smoke (whyfuzz corpus + seeded fuzz, docs/HARDENING.md)"
+# Every committed corpus instance, across the default config matrix
+# (three solver configs x preprocessing on/off), with every answer
+# cross-checked: SAT models evaluated on the original clauses, UNSATs
+# DRAT-certified. Exit 1 = a solver bug.
+dune exec --no-build bin/whyfuzz.exe -- \
+  corpus examples/cnf/corpus --timeout 5 > /dev/null
+
+# A malformed DIMACS file must die with a positioned error, exit 1.
+if dune exec --no-build bin/satsolve.exe -- \
+     examples/cnf/bad-header.cnf > /dev/null 2>&1; then
+  echo "dev-check: satsolve should exit non-zero on bad-header.cnf" >&2
+  exit 1
+fi
+
+# Deterministic differential fuzz: 50 seeded iterations of random CNFs
+# (solver portfolio vs the truth-table oracle) and random Datalog
+# programs (engine vs structural reference, why_UN vs the powerset
+# oracle). Two runs must agree byte-for-byte, and find nothing.
+f1=$(mktemp -t whyfuzz-f1.XXXXXX)
+f2=$(mktemp -t whyfuzz-f2.XXXXXX)
+trap 'rm -f "$out" "$b1" "$b2" "$bstats" "$t1" "$t2" "$prog" "$p1" "$p2" "$f1" "$f2"' EXIT
+dune exec --no-build bin/whyfuzz.exe -- \
+  fuzz --seed 42 --iters 50 --quiet > "$f1"
+dune exec --no-build bin/whyfuzz.exe -- \
+  fuzz --seed 42 --iters 50 --quiet > "$f2"
+diff "$f1" "$f2"
+
 echo "== docs link check"
 # Every relative markdown link and every backticked *.md path in the
 # user-facing docs must point at a file that exists.

@@ -1,0 +1,74 @@
+(** DIMACS corpus runner (docs/HARDENING.md).
+
+    Walks a directory of [.cnf] files (or an in-memory instance list),
+    solves each under a wall-clock timeout with a chosen
+    {!Sat.Solver.config}, and tallies SAT/UNSAT/timeout — with every
+    answer cross-checked rather than trusted: an UNSAT must come with a
+    {!Sat.Drat}-certified refutation of the {e original} clauses
+    (preprocessor derivation prepended), a SAT's model must satisfy
+    every original clause after {!Sat.Preprocess.extend_model}
+    reconstruction. Any discrepancy is a [Failed] outcome, and a
+    corpus run with failures is a solver bug by definition — this is
+    the gate every future solver/preprocessor change runs before
+    claiming a speedup.
+
+    Activity is recorded under the [harden.corpus.*] metrics
+    (docs/OBSERVABILITY.md). *)
+
+type opts = {
+  config_name : string;      (** label for reports and timing files *)
+  config : Sat.Solver.config;
+  preprocess : bool;         (** SatELite preprocessing before solving *)
+  timeout_s : float;         (** wall-clock budget per instance *)
+  certify : bool;            (** DRAT-check UNSATs (on in every default) *)
+}
+
+val default_opts : opts
+(** Default solver config, preprocessing on, 5 s timeout, certification
+    on. *)
+
+type outcome =
+  | Sat_ok     (** SAT, model verified against the original clauses *)
+  | Unsat_ok   (** UNSAT, DRAT-certified (when [certify]) *)
+  | Timeout
+  | Failed of string
+      (** cross-check failure, or unparseable file (directory runs) *)
+
+type instance = {
+  name : string;
+  outcome : outcome;
+  time_s : float;    (** wall time including preprocessing and checking *)
+  conflicts : int;
+}
+
+type report = {
+  opts : opts;
+  instances : instance list;  (** in input order *)
+  sat : int;
+  unsat : int;
+  timeouts : int;
+  failures : int;
+}
+
+val solve_instance : opts -> name:string -> Gen.cnf -> instance
+
+val run_list : opts -> (string * Gen.cnf) list -> report
+(** In-memory corpus — what the bench experiment and the tests use. *)
+
+val run_dir : opts -> string -> report
+(** Runs every [*.cnf] in the directory, in sorted filename order.
+    Unparseable files become [Failed] instances (the runner must
+    survive a corrupt corpus, not crash on it).
+    @raise Invalid_argument if the directory holds no [.cnf] files;
+    @raise Sys_error on unreadable paths. *)
+
+val timings : report -> string
+(** Per-instance timing lines sorted by ascending solve time
+    ("cactus plot" input): [TIME OUTCOME CONFLICTS NAME], one header
+    comment line recording the configuration. *)
+
+val outcome_label : outcome -> string
+(** ["SAT"], ["UNSAT"], ["TIMEOUT"] or ["FAILED"]. *)
+
+val pp_summary : Format.formatter -> report -> unit
+(** One-line tally, plus one line per failure. *)

@@ -1,0 +1,105 @@
+(** Differential fuzzing with shrinking (docs/HARDENING.md).
+
+    One seeded loop, three differentials per iteration:
+
+    - {b CNF}: a random or structured formula ({!Gen}) solved by a
+      portfolio of pipeline configurations (preprocessing on/off,
+      inprocessing permutations), every answer judged against the
+      truth-table oracle ({!Sat.Reference.brute_force}), SAT models
+      evaluated on the original clauses, UNSAT answers DRAT-certified.
+    - {b engine}: a random Datalog program ({!Workloads.Randprog})
+      through the flat engine at jobs 1 and 2 vs the structural
+      reference engine (model set and ranks).
+    - {b provenance}: the SAT-based [why_UN] enumeration (preprocessing
+      on/off) vs the powerset oracle ({!Oracle.why_un_powerset}) on a
+      tiny database, for every derived IDB fact.
+
+    A disagreement is greedily minimized (clauses/literals, or
+    rules/facts) and rendered as a reproducer whose header records
+    [(seed, iter)] — instance generation depends on those two values
+    only, so the failure regenerates from the header alone. The loop is
+    deterministic: same seed, same iterations, same instances, same
+    summary. *)
+
+type cnf_answer =
+  | A_sat of bool array  (** model over the original variables *)
+  | A_unsat              (** certified if the solver certifies *)
+  | A_failed of string   (** solver-internal cross-check failed *)
+
+type cnf_solver = {
+  cs_name : string;
+  cs_solve : nvars:int -> Sat.Lit.t list list -> cnf_answer;
+}
+(** A full solving pipeline behind one function. Tests inject buggy
+    ones to prove the harness catches and shrinks them. *)
+
+val pipeline_solver :
+  name:string ->
+  config:Sat.Solver.config ->
+  preprocess:bool ->
+  unit ->
+  cnf_solver
+(** The real pipeline: optional SatELite preprocessing, CDCL under
+    [config], model reconstruction, DRAT certification of UNSATs
+    (failures surface as [A_failed]). *)
+
+val default_cnf_solvers : unit -> cnf_solver list
+(** Five configurations spanning preprocessing on/off, inprocessing
+    on/off, fast restarts, and an aggressively small learnt database. *)
+
+val check_cnf_with : cnf_solver list -> Gen.cnf -> (unit, string) result
+(** Every solver against the oracle; [Error] describes the first
+    discrepancy. *)
+
+val shrink_cnf :
+  failing:(Sat.Lit.t list list -> bool) ->
+  Sat.Lit.t list list ->
+  Sat.Lit.t list list
+(** Greedy clause deletion then per-clause literal deletion to a
+    1-minimal failing list. [failing] must hold of the input. *)
+
+val check_engine : Workloads.Randprog.t -> (unit, string) result
+val check_provenance : Workloads.Randprog.t -> (unit, string) result
+(** The two Datalog differentials. [check_provenance] expects the
+    (deduplicated) database within the powerset oracle's reach.
+    @raise Invalid_argument beyond 9 facts. *)
+
+type bug = {
+  seed : int;
+  iter : int;
+  kind : string;                      (** "cnf", "engine", "provenance" *)
+  detail : string;                    (** instance family / solver label *)
+  message : string;
+  cnf : Gen.cnf option;               (** shrunk, for [kind = "cnf"] *)
+  prog : Workloads.Randprog.t option; (** shrunk, for the Datalog kinds *)
+}
+
+type summary = {
+  s_seed : int;
+  s_iters : int;
+  s_cnf_checks : int;
+  s_engine_checks : int;
+  s_prov_checks : int;
+  s_bugs : bug list;  (** in discovery order *)
+}
+
+val run :
+  ?solvers:cnf_solver list ->
+  ?progress:(int -> unit) ->
+  seed:int ->
+  iters:int ->
+  unit ->
+  summary
+(** The fuzz loop. [progress] is called with the iteration index before
+    each iteration. *)
+
+val reproducer : bug -> string * string
+(** [(filename, contents)]: a [.cnf] or [.dl] file whose comment header
+    records seed, iteration, kind and failure message.
+    @raise Invalid_argument on a bug carrying no instance. *)
+
+val write_reproducers : dir:string -> summary -> string list
+(** Writes every bug's reproducer under [dir] (created on demand when
+    there is something to write); returns the paths. *)
+
+val pp_summary : Format.formatter -> summary -> unit

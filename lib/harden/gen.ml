@@ -1,0 +1,211 @@
+(* Structured CNF instance generators for the hardening harness.
+
+   Every generator is deterministic in its parameters (and, where one
+   is taken, its Rng), so an instance can be regenerated from the
+   parameter line its DIMACS header records. *)
+
+module L = Sat.Lit
+
+type cnf = {
+  nvars : int;
+  clauses : L.t list list;
+}
+
+let to_dimacs ?(comments = []) cnf =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun line ->
+      Buffer.add_string buf "c ";
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n')
+    comments;
+  Buffer.add_string buf (Sat.Dimacs.to_string ~nvars:cnf.nvars cnf.clauses);
+  Buffer.contents buf
+
+let of_dimacs src =
+  let nvars, clauses = Sat.Dimacs.of_string src in
+  { nvars; clauses }
+
+(* --- Tseytin circuit builder ----------------------------------------- *)
+
+module Circuit = struct
+  (* A node is a literal over the circuit's variables; negation is free
+     (literal negation), every binary gate allocates one fresh variable
+     plus its Tseytin defining clauses. Gate definitions are kept so
+     that {!eval} can replay the circuit on concrete inputs — that
+     replay is the test oracle for the CNF itself. *)
+
+  type node = L.t
+
+  type gate =
+    | Input of int          (* index into the input vector *)
+    | And of node * node
+    | Or of node * node
+    | Xor of node * node
+    | Ite of node * node * node
+
+  type t = {
+    mutable nvars : int;
+    mutable n_inputs : int;
+    mutable gates : (int * gate) list;  (* (output var, definition), latest first *)
+    mutable clauses : L.t list list;    (* latest first *)
+  }
+
+  let create () = { nvars = 0; n_inputs = 0; gates = []; clauses = [] }
+
+  let fresh c =
+    let v = c.nvars in
+    c.nvars <- v + 1;
+    v
+
+  let input c =
+    let v = fresh c in
+    c.gates <- (v, Input c.n_inputs) :: c.gates;
+    c.n_inputs <- c.n_inputs + 1;
+    L.pos v
+
+  let not_ = L.negate
+
+  let emit c clause = c.clauses <- clause :: c.clauses
+
+  let and_ c a b =
+    let o = L.pos (fresh c) in
+    c.gates <- (L.var o, And (a, b)) :: c.gates;
+    emit c [ L.negate o; a ];
+    emit c [ L.negate o; b ];
+    emit c [ o; L.negate a; L.negate b ];
+    o
+
+  let or_ c a b =
+    let o = L.pos (fresh c) in
+    c.gates <- (L.var o, Or (a, b)) :: c.gates;
+    emit c [ o; L.negate a ];
+    emit c [ o; L.negate b ];
+    emit c [ L.negate o; a; b ];
+    o
+
+  let xor_ c a b =
+    let o = L.pos (fresh c) in
+    c.gates <- (L.var o, Xor (a, b)) :: c.gates;
+    emit c [ L.negate o; a; b ];
+    emit c [ L.negate o; L.negate a; L.negate b ];
+    emit c [ o; L.negate a; b ];
+    emit c [ o; a; L.negate b ];
+    o
+
+  let ite c sel t e =
+    let o = L.pos (fresh c) in
+    c.gates <- (L.var o, Ite (sel, t, e)) :: c.gates;
+    emit c [ L.negate o; L.negate sel; t ];
+    emit c [ L.negate o; sel; e ];
+    emit c [ o; L.negate sel; L.negate t ];
+    emit c [ o; sel; L.negate e ];
+    o
+
+  let reduce c op zero = function
+    | [] -> invalid_arg ("Circuit." ^ zero ^ ": empty node list")
+    | n :: rest -> List.fold_left (op c) n rest
+
+  let and_list c ns = reduce c and_ "and_list" ns
+  let or_list c ns = reduce c or_ "or_list" ns
+  let xor_list c ns = reduce c xor_ "xor_list" ns
+
+  let assert_ c n = emit c [ n ]
+
+  let n_inputs c = c.n_inputs
+
+  let cnf c = { nvars = c.nvars; clauses = List.rev c.clauses }
+
+  let eval c inputs node =
+    if Array.length inputs < c.n_inputs then
+      invalid_arg "Circuit.eval: input vector too short";
+    let defs = Array.make c.nvars None in
+    List.iter (fun (v, g) -> defs.(v) <- Some g) c.gates;
+    let memo = Array.make c.nvars None in
+    let rec value v =
+      match memo.(v) with
+      | Some b -> b
+      | None ->
+        let b =
+          match defs.(v) with
+          | None -> invalid_arg "Circuit.eval: undefined variable"
+          | Some (Input i) -> inputs.(i)
+          | Some (And (a, b)) -> lit a && lit b
+          | Some (Or (a, b)) -> lit a || lit b
+          | Some (Xor (a, b)) -> lit a <> lit b
+          | Some (Ite (s, t, e)) -> if lit s then lit t else lit e
+        in
+        memo.(v) <- Some b;
+        b
+    and lit l = if L.sign l then value (L.var l) else not (value (L.var l)) in
+    lit node
+end
+
+(* --- Structured families --------------------------------------------- *)
+
+let pigeonhole ~pigeons ~holes =
+  if pigeons < 1 || holes < 1 then
+    invalid_arg "Gen.pigeonhole: need at least one pigeon and one hole";
+  let v p h = (p * holes) + h in
+  let at_least_one =
+    List.init pigeons (fun p -> List.init holes (fun h -> L.pos (v p h)))
+  in
+  let conflicts = ref [] in
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        conflicts := [ L.neg (v p1 h); L.neg (v p2 h) ] :: !conflicts
+      done
+    done
+  done;
+  { nvars = pigeons * holes; clauses = at_least_one @ List.rev !conflicts }
+
+let random_kcnf ?(k = 3) rng ~nvars ~ratio =
+  if nvars < k then invalid_arg "Gen.random_kcnf: nvars < k";
+  let nclauses = int_of_float (Float.round (ratio *. float_of_int nvars)) in
+  let vars = Array.init nvars Fun.id in
+  let clauses =
+    List.init nclauses (fun _ ->
+        Util.Rng.sample rng k vars |> Array.to_list
+        |> List.map (fun v ->
+               if Util.Rng.bool rng then L.pos v else L.neg v))
+  in
+  { nvars; clauses }
+
+let xor_chain ~length ~sat =
+  if length < 2 then invalid_arg "Gen.xor_chain: length < 2";
+  let c = Circuit.create () in
+  let inputs = List.init length (fun _ -> Circuit.input c) in
+  Circuit.assert_ c (Circuit.xor_list c inputs);
+  (* Fix every input: first one true in the satisfiable variant (odd
+     parity), all false in the unsatisfiable one (even parity, but the
+     chain's output is asserted true). *)
+  List.iteri
+    (fun i n -> Circuit.assert_ c (if i = 0 && sat then n else Circuit.not_ n))
+    inputs;
+  Circuit.cnf c
+
+let grid_coloring ~width ~height ~colors =
+  if width < 1 || height < 1 || colors < 1 then
+    invalid_arg "Gen.grid_coloring: degenerate grid";
+  let cell x y = (y * width) + x in
+  let v c xy = (xy * colors) + c in
+  let at_least_one =
+    List.init (width * height) (fun xy ->
+        List.init colors (fun c -> L.pos (v c xy)))
+  in
+  let edges = ref [] in
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      if x + 1 < width then edges := (cell x y, cell (x + 1) y) :: !edges;
+      if y + 1 < height then edges := (cell x y, cell x (y + 1)) :: !edges
+    done
+  done;
+  let conflicts =
+    List.concat_map
+      (fun (u, w) -> List.init colors (fun c -> [ L.neg (v c u); L.neg (v c w) ]))
+      (List.rev !edges)
+  in
+  { nvars = width * height * colors; clauses = at_least_one @ conflicts }
+
+let unit_conflict () = { nvars = 1; clauses = [ [ L.pos 0 ]; [ L.neg 0 ] ] }

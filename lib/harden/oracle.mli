@@ -1,0 +1,13 @@
+(** Solver-free reference oracles for differential testing. *)
+
+val why_un_powerset :
+  Datalog.Program.t ->
+  Datalog.Database.t ->
+  Datalog.Fact.t ->
+  Datalog.Fact.Set.t list
+(** The complete [why_UN(fact, db, program)] member list, sorted by
+    {!Datalog.Fact.Set.compare}, computed by deciding every database
+    subset through the naive proof-tree enumeration (Proposition 41) —
+    no SAT solver, no closure sharing, nothing in common with the
+    pipeline under test. Exponential in the database size.
+    @raise Invalid_argument beyond 14 facts. *)

@@ -1,3 +1,12 @@
+exception Parse_error of { line : int; msg : string }
+
+let error line fmt =
+  Printf.ksprintf (fun msg -> raise (Parse_error { line; msg })) fmt
+
+let error_message = function
+  | Parse_error { line; msg } -> Printf.sprintf "line %d: %s" line msg
+  | e -> raise e
+
 let to_buffer buf ~nvars clauses =
   Buffer.add_string buf
     (Printf.sprintf "p cnf %d %d\n" nvars (List.length clauses));
@@ -19,33 +28,71 @@ let to_channel oc ~nvars clauses =
   to_buffer buf ~nvars clauses;
   Buffer.output_buffer oc buf
 
+(* Strict parser: a single well-formed header must precede the clauses,
+   every literal must be an integer within the header's variable range,
+   and the final clause must be 0-terminated. The declared clause count
+   is deliberately not enforced (real corpora routinely get it wrong),
+   and a trailing "%" end-of-file marker (SATLIB convention) is
+   accepted. *)
 let of_string src =
-  let nvars = ref 0 in
+  let nvars = ref (-1) in
   let clauses = ref [] in
   let current = ref [] in
+  let current_line = ref 0 in
+  let finished = ref false in
   let lines = String.split_on_char '\n' src in
-  List.iter
-    (fun line ->
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
       let line = String.trim line in
-      if String.length line = 0 || line.[0] = 'c' then ()
+      if !finished || String.length line = 0 || line.[0] = 'c' then ()
+      else if line = "%" then
+        (* SATLIB end marker; anything after it (conventionally a lone
+           "0") is ignored. *)
+        finished := true
       else if line.[0] = 'p' then begin
-        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
-        | [ "p"; "cnf"; nv; _nc ] -> nvars := int_of_string nv
-        | _ -> failwith "Dimacs.of_string: malformed problem line"
+        if !nvars >= 0 then error lineno "duplicate problem line %S" line;
+        if !current <> [] then
+          error lineno "problem line inside a clause";
+        match
+          String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+        with
+        | [ "p"; "cnf"; nv; nc ] -> (
+          match (int_of_string_opt nv, int_of_string_opt nc) with
+          | Some nv, Some _ when nv >= 0 -> nvars := nv
+          | _ ->
+            error lineno "malformed problem line %S: counts must be integers"
+              line)
+        | _ ->
+          error lineno "malformed problem line %S: expected \"p cnf VARS CLAUSES\""
+            line
       end
       else
         String.split_on_char ' ' line
         |> List.filter (fun s -> s <> "")
         |> List.iter (fun tok ->
+               if !nvars < 0 then
+                 error lineno "clause before the \"p cnf\" problem line";
                let i =
-                 try int_of_string tok
-                 with _ -> failwith "Dimacs.of_string: malformed literal"
+                 match int_of_string_opt tok with
+                 | Some i -> i
+                 | None -> error lineno "malformed literal %S" tok
                in
                if i = 0 then begin
                  clauses := List.rev !current :: !clauses;
                  current := []
                end
-               else current := Lit.of_int i :: !current))
+               else begin
+                 if abs i > !nvars then
+                   error lineno "literal %d out of range (header declares %d variable%s)"
+                     i !nvars
+                     (if !nvars = 1 then "" else "s");
+                 if !current = [] then current_line := lineno;
+                 current := Lit.of_int i :: !current
+               end))
     lines;
-  if !current <> [] then clauses := List.rev !current :: !clauses;
+  if !current <> [] then
+    error !current_line "unterminated clause (missing closing 0)";
+  if !nvars < 0 then
+    error (List.length lines) "no \"p cnf\" problem line";
   (!nvars, List.rev !clauses)

@@ -1,10 +1,24 @@
 (** DIMACS CNF reading and writing, for interoperability and debugging. *)
 
+exception Parse_error of { line : int; msg : string }
+(** Raised by {!of_string} on malformed input, with the 1-based line
+    number of the offending token. *)
+
+val error_message : exn -> string
+(** ["line N: msg"] for a {!Parse_error}; re-raises anything else. *)
+
 val to_string : nvars:int -> Lit.t list list -> string
 (** Renders a clause list in DIMACS CNF format. *)
 
 val to_channel : out_channel -> nvars:int -> Lit.t list list -> unit
 
 val of_string : string -> int * Lit.t list list
-(** Parses a DIMACS CNF document; returns [(nvars, clauses)].
-    @raise Failure on malformed input. *)
+(** Parses a DIMACS CNF document; returns [(nvars, clauses)]. The
+    parser is strict: exactly one well-formed [p cnf VARS CLAUSES]
+    header must precede the clauses, literals must be integers with
+    [|lit| <= VARS], and every clause (including the last) must be
+    terminated by [0]. The declared clause count is {e not} enforced
+    (published corpora routinely get it wrong), comment lines ([c ...])
+    may appear anywhere, and a lone ["%"] line ends the file (SATLIB
+    convention).
+    @raise Parse_error on malformed input, with the offending line. *)

@@ -982,6 +982,25 @@ let solve ?assumptions t =
 let solve_limited ?assumptions ~conflict_budget t =
   solve_aux ?assumptions ~conflict_budget t
 
+(* Wall-clock deadlines ride on the conflict-budget machinery: solve in
+   budget slices, checking the clock between slices. Slices grow
+   geometrically so long solves pay a vanishing slicing overhead while
+   short timeouts still get checked early; learnt clauses persist
+   across slices, so the sliced search is the same search. *)
+let solve_with_timeout ?assumptions ~timeout_s t =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let slice = ref 128 in
+  let rec go () =
+    if Unix.gettimeofday () >= deadline then None
+    else
+      match solve_aux ?assumptions ~conflict_budget:!slice t with
+      | Some r -> Some r
+      | None ->
+        slice := min (!slice * 2) 1_048_576;
+        go ()
+  in
+  go ()
+
 let value t v =
   match t.model_ with
   | Some m when v < Array.length m -> m.(v)

@@ -80,6 +80,15 @@ val solve_limited : ?assumptions:Lit.t list -> conflict_budget:int -> t -> resul
     wasted if the caller retries. Used for timeout-style budgets in the
     enumeration harness. *)
 
+val solve_with_timeout :
+  ?assumptions:Lit.t list -> timeout_s:float -> t -> result option
+(** Like {!solve} but gives up (returning [None]) once the given
+    wall-clock budget is spent. Implemented as {!solve_limited} slices
+    with a clock check between slices, so the answer can overshoot the
+    deadline by at most one slice; learnt clauses persist, so retries
+    resume rather than restart. The corpus-hardening harness runs every
+    instance under this. *)
+
 val value : t -> int -> bool
 (** Model value of a variable after a [Sat] answer.
     @raise Invalid_argument if the last call did not return [Sat]. *)

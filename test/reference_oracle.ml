@@ -2,28 +2,7 @@
 
 let satisfiable ~nvars clauses = Sat.Reference.brute_force ~nvars clauses <> None
 
-(* Brute-force why_UN oracle: walk the whole powerset of the database
-   and keep every subset S that supports an unambiguous proof tree with
-   support exactly S. The decision per subset goes through the naive
-   compressed-DAG enumeration (Proposition 41) restricted to S — no SAT
-   solver, no closure sharing — so it is independent of everything the
-   batch pipeline does. Exponential: tiny databases only. *)
-let why_un_powerset program db fact =
-  let facts = Array.of_list (Datalog.Database.to_list db) in
-  let n = Array.length facts in
-  if n > 14 then invalid_arg "why_un_powerset: database too large";
-  let members = ref [] in
-  for mask = 0 to (1 lsl n) - 1 do
-    let subset = ref Datalog.Fact.Set.empty in
-    for i = 0 to n - 1 do
-      if mask land (1 lsl i) <> 0 then
-        subset := Datalog.Fact.Set.add facts.(i) !subset
-    done;
-    let s = !subset in
-    let supports =
-      Provenance.Naive.why_un program (Datalog.Database.of_set s) fact
-    in
-    if List.exists (Datalog.Fact.Set.equal s) supports then
-      members := s :: !members
-  done;
-  List.sort Datalog.Fact.Set.compare !members
+(* Brute-force why_UN oracle, shared with the hardening fuzzer — see
+   Harden.Oracle for the construction (powerset walk over the naive
+   proof-tree enumeration; exponential, tiny databases only). *)
+let why_un_powerset = Harden.Oracle.why_un_powerset

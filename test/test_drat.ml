@@ -83,6 +83,68 @@ let test_corrupted_proof_rejected () =
     | Ok () -> Alcotest.fail "bogus lemma must be rejected"
     | Error _ -> ())
 
+(* Proof-mutation property: corrupting a valid refutation in ways that
+   are guaranteed to invalidate it must always be refused. Arbitrary
+   single-line mutations are NOT guaranteed-invalidating (a weakened or
+   redundant lemma can stay RUP), so the guaranteed mutations are:
+   truncating at the final empty clause, rewriting the empty clause
+   into a unit, and — on instances with no unit propagation from a
+   single literal — prepending a non-RUP lemma. Random line drops are
+   additionally checked for no-crash: the checker must answer, not
+   throw. *)
+let prop_mutated_proofs_refused =
+  QCheck.Test.make ~count:60 ~name:"mutated DRAT proofs are refused"
+    QCheck.(int_bound ((1 lsl 30) - 1))
+    (fun seed ->
+      let rng = Util.Rng.create seed in
+      (* Known-UNSAT instances; php sizes keep holes >= 3 so that a
+         single assigned literal propagates nothing (see below). *)
+      let n = 3 + Util.Rng.int rng 2 in
+      let clauses, nvars = pigeonhole n in
+      match solve_logged clauses nvars with
+      | Sat.Solver.Sat, _ -> QCheck.Test.fail_report "pigeonhole must be UNSAT"
+      | Sat.Solver.Unsat, proof ->
+        let check proof =
+          Sat.Drat.check ~nvars ~original:clauses ~proof
+        in
+        (match check proof with
+        | Ok () -> ()
+        | Error e -> QCheck.Test.fail_reportf "pristine proof rejected: %s" e);
+        let lines =
+          String.split_on_char '\n' proof
+          |> List.filter (fun l -> String.trim l <> "")
+        in
+        let unlines ls = String.concat "\n" ls ^ "\n" in
+        let last_empty =
+          match List.filteri (fun _ l -> String.trim l = "0") lines with
+          | [] -> QCheck.Test.fail_report "proof has no empty clause"
+          | _ -> List.length lines - 1
+        in
+        let refused label mutated =
+          match check mutated with
+          | Error _ -> ()
+          | Ok () ->
+            QCheck.Test.fail_reportf "%s accepted for php(%d,%d)" label (n + 1) n
+        in
+        (* 1. Clause drop: remove the final (empty) clause. *)
+        refused "truncated proof"
+          (unlines (List.filteri (fun i _ -> i < last_empty) lines));
+        (* 2. Literal insertion: the empty clause becomes a unit, so no
+           refutation is derived. *)
+        refused "de-emptied proof"
+          (unlines
+             (List.mapi (fun i l -> if i = last_empty then "1 0" else l) lines));
+        (* 3. Non-RUP lemma up front: asserting variable 1 propagates
+           nothing in PHP with >= 3 holes (positive clauses are wide,
+           binary conflicts are all-negative), so the lemma is not RUP. *)
+        refused "non-RUP lemma" ("1 0\n" ^ proof);
+        (* 4. Robustness: dropping any single random line must yield a
+           clean verdict either way, never an exception. *)
+        let drop = Util.Rng.int rng (List.length lines) in
+        (match check (unlines (List.filteri (fun i _ -> i <> drop) lines)) with
+        | Ok () | Error _ -> ());
+        true)
+
 let test_incremental_proof () =
   (* Blocking-clause enumeration, then a final UNSAT: the whole
      incremental trace must check against original ∪ blocking clauses. *)
@@ -158,6 +220,7 @@ let suite =
       tc "random unsat proofs" `Quick test_unsat_proofs_check;
       tc "pigeonhole proof" `Quick test_pigeonhole_proof;
       tc "corrupted proof rejected" `Quick test_corrupted_proof_rejected;
+      QCheck_alcotest.to_alcotest prop_mutated_proofs_refused;
       tc "incremental proof" `Quick test_incremental_proof;
       tc "enumeration exhaustion certified" `Quick test_enumeration_exhaustion_certified;
     ] )

@@ -72,84 +72,23 @@ let differential ?(jobs = [ 1 ]) ?(extract = 12) name program db =
         sorted_struct)
     jobs
 
-(* Random positive (hence stratified) programs: safe rules over a small
-   fixed schema, head variables drawn from the body's variables. *)
+(* Random positive (hence stratified) programs, drawn from the shared
+   distribution in {!Workloads.Randprog} — the same generator (and
+   shrinker) the hardening fuzzer uses, so any failure found here has a
+   ready-made reproducer format. qcheck supplies the seed; the instance
+   itself comes from the deterministic Rng-driven generator. *)
 let gen_program_db =
-  QCheck.Gen.(
-    let consts = Array.init 6 (fun i -> "c" ^ string_of_int i) in
-    let vars = [| "X"; "Y"; "Z"; "W" |] in
-    (* (name, arity, is_edb) *)
-    let preds =
-      [| ("e", 2, true); ("f", 1, true); ("p", 2, false); ("q", 1, false);
-         ("s", 2, false) |]
-    in
-    let gen_const = map (fun i -> consts.(i)) (int_bound (Array.length consts - 1)) in
-    let gen_term =
-      frequency
-        [ (7, map (fun i -> D.Term.var vars.(i)) (int_bound (Array.length vars - 1)));
-          (3, map D.Term.const gen_const) ]
-    in
-    let gen_atom =
-      let* pi = int_bound (Array.length preds - 1) in
-      let name, arity, _ = preds.(pi) in
-      let+ terms = array_size (return arity) gen_term in
-      D.Atom.make (D.Symbol.intern name) terms
-    in
-    let gen_rule =
-      let* body = list_size (int_range 1 3) gen_atom in
-      let body_vars =
-        List.concat_map D.Atom.vars body |> List.sort_uniq D.Symbol.compare
-      in
-      let gen_head_term =
-        match body_vars with
-        | [] -> map D.Term.const gen_const
-        | vs ->
-          let vs = Array.of_list vs in
-          frequency
-            [ ( 8,
-                map
-                  (fun i -> D.Term.var (D.Symbol.to_string vs.(i)))
-                  (int_bound (Array.length vs - 1)) );
-              (1, map D.Term.const gen_const) ]
-      in
-      let* hi = int_bound 2 in
-      let name, arity, _ = preds.(hi + 2) (* an IDB head *) in
-      let+ head_terms = array_size (return arity) gen_head_term in
-      D.Rule.make (D.Atom.make (D.Symbol.intern name) head_terms) body
-    in
-    let gen_fact =
-      (* Mostly EDB facts, some IDB facts (databases may mention IDB
-         predicates), and the odd fact of a predicate outside the
-         program, which must pass through both engines untouched. *)
-      let* pi =
-        frequency [ (6, return 0); (2, return 1); (1, return 2); (1, return 5) ]
-      in
-      let name, arity =
-        if pi = 5 then ("ghost", 1)
-        else
-          let name, arity, _ = preds.(pi) in
-          (name, arity)
-      in
-      let+ args = list_size (return arity) gen_const in
-      D.Fact.of_strings name args
-    in
-    let* rules = list_size (int_range 2 6) gen_rule in
-    let+ facts = list_size (int_range 4 30) gen_fact in
-    (rules, facts))
+  QCheck.Gen.map
+    (fun seed -> W.Randprog.generate (Util.Rng.create seed))
+    QCheck.Gen.(int_bound ((1 lsl 30) - 1))
 
-let arb_program_db =
-  QCheck.make gen_program_db ~print:(fun (rules, facts) ->
-      String.concat "\n" (List.map D.Rule.to_string rules)
-      ^ "\n-- db --\n"
-      ^ String.concat "\n" (List.map D.Fact.to_string facts))
+let arb_program_db = QCheck.make gen_program_db ~print:W.Randprog.to_string
 
 let prop_random_differential =
   QCheck.Test.make ~count:80 ~name:"random programs: flat = structural"
-    arb_program_db (fun (rules, facts) ->
-      let rules = List.mapi (fun i r -> D.Rule.with_id i r) rules in
-      let program = D.Program.make rules in
-      let db = D.Database.of_list facts in
-      differential ~extract:8 "random" program db;
+    arb_program_db (fun t ->
+      differential ~extract:8 "random" (W.Randprog.program t)
+        (W.Randprog.database t);
       true)
 
 (* Every bundled workload, at sizes small enough to run as a test but

@@ -23,4 +23,5 @@ let () =
       Test_circuit.suite;
       Test_batch.suite;
       Test_tracing.suite;
+      Test_harden.suite;
     ]

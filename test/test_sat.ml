@@ -271,6 +271,48 @@ let test_dimacs_roundtrip () =
     Alcotest.(check (list (list lit))) "clauses" clauses clauses'
   done
 
+let test_dimacs_rejects () =
+  let rejects ~line src =
+    match Sat.Dimacs.of_string src with
+    | _ -> Alcotest.failf "accepted malformed input %S" src
+    | exception (Sat.Dimacs.Parse_error { line = l; _ } as e) ->
+      Alcotest.(check int)
+        (Printf.sprintf "error line for %S (%s)" src
+           (Sat.Dimacs.error_message e))
+        line l
+  in
+  rejects ~line:1 "1 -2 0\n";                         (* clause before header *)
+  rejects ~line:1 "p cnf oops 3\n";                   (* malformed header *)
+  rejects ~line:1 "p cnf 2\n";                        (* truncated header *)
+  rejects ~line:2 "p cnf 2 1\np cnf 2 1\n";           (* duplicate header *)
+  rejects ~line:2 "p cnf 2 1\n1 -3 0\n";              (* literal out of range *)
+  rejects ~line:2 "p cnf 2 1\n1 x 0\n";               (* non-integer literal *)
+  rejects ~line:2 "p cnf 2 1\n1 -2\n";                (* unterminated clause *)
+  (* Still-legal inputs: comments anywhere, SATLIB '%' end marker. *)
+  let nvars, clauses =
+    Sat.Dimacs.of_string "c head\np cnf 3 2\nc mid\n1 -2 0\n2 3 0\n%\n0\n"
+  in
+  Alcotest.(check int) "nvars" 3 nvars;
+  Alcotest.(check int) "clauses" 2 (List.length clauses)
+
+let test_solve_with_timeout () =
+  (* A trivial instance finishes well inside any budget and agrees with
+     the oracle; a zero budget always times out. *)
+  let clauses = [ [ Sat.Lit.pos 0; Sat.Lit.pos 1 ]; [ Sat.Lit.neg 0 ] ] in
+  let s = Sat.Solver.create () in
+  Sat.Solver.ensure_vars s 2;
+  List.iter (Sat.Solver.add_clause s) clauses;
+  (match Sat.Solver.solve_with_timeout ~timeout_s:30.0 s with
+  | Some Sat.Solver.Sat -> ()
+  | Some Sat.Solver.Unsat -> Alcotest.fail "instance is SAT"
+  | None -> Alcotest.fail "trivial instance timed out");
+  let s2 = Sat.Solver.create () in
+  Sat.Solver.ensure_vars s2 2;
+  List.iter (Sat.Solver.add_clause s2) clauses;
+  match Sat.Solver.solve_with_timeout ~timeout_s:0.0 s2 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "zero budget must time out"
+
 let test_permanently_unsat () =
   let open Sat.Lit in
   let s = Sat.Solver.create () in
@@ -337,6 +379,8 @@ let suite =
       tc "enumeration counts" `Quick test_enumeration_counts;
       tc "random assumptions" `Quick test_random_assumptions_vs_oracle;
       tc "dimacs roundtrip" `Quick test_dimacs_roundtrip;
+      tc "dimacs rejects malformed" `Quick test_dimacs_rejects;
+      tc "solve with timeout" `Quick test_solve_with_timeout;
       tc "permanently unsat" `Quick test_permanently_unsat;
       tc "default polarity" `Quick test_default_polarity;
       tc "model unavailable" `Quick test_model_unavailable;
