@@ -15,7 +15,7 @@ let usage () =
     "usage: main.exe [--scale F] [--tuples N] [--limit N] [--timeout S] \
      [--budget N] [--seed N] [--jobs N] [--stats-out FILE.json] \
      [--trace-out FILE.json] \
-     [table1|fig1|fig2|fig3|fig4|fig5|hardness|ablation|combined|batch|analysis|engine|preprocess|tracing|corpus|micro|all]...";
+     [table1|fig1|fig2|fig3|fig4|fig5|hardness|ablation|combined|batch|analysis|engine|planner|preprocess|tracing|corpus|micro|all]...";
   exit 1
 
 let () =
@@ -88,6 +88,7 @@ let () =
     | "batch" -> Experiments.batch ()
     | "analysis" -> Experiments.analysis ()
     | "engine" -> Experiments.engine ()
+    | "planner" -> Experiments.planner ()
     | "preprocess" -> Experiments.preprocess ()
     | "tracing" -> Experiments.tracing ()
     | "corpus" -> Experiments.corpus ()
@@ -103,6 +104,7 @@ let () =
       Experiments.batch ();
       Experiments.analysis ();
       Experiments.engine ();
+      Experiments.planner ();
       Experiments.preprocess ();
       Experiments.tracing ();
       Experiments.corpus ();

@@ -115,7 +115,7 @@ let cmd_corpus dir timeout configs preprocess timings_out stats_out =
 (* ------------------------------------------------------------------ *)
 
 let cmd_gen family out seed nvars ratio k pigeons holes length sat width
-    height colors =
+    height colors box givens conflict =
   let param_line = ref "" in
   let instance =
     match family with
@@ -140,11 +140,18 @@ let cmd_gen family out seed nvars ratio k pigeons holes length sat width
     | "unit-conflict" ->
         param_line := "gen unit-conflict";
         Ok (Harden.Gen.unit_conflict ())
+    | "sudoku" ->
+        param_line :=
+          Printf.sprintf "gen sudoku --seed %d --box %d --givens %d%s" seed box
+            givens
+            (if conflict then " --conflict" else "");
+        Ok
+          (Harden.Gen.sudoku ~givens ~conflict (Util.Rng.create seed) ~box)
     | f ->
         Error
           (Printf.sprintf
              "unknown family %S (known: php, random, xorchain, grid, \
-              unit-conflict)"
+              unit-conflict, sudoku)"
              f)
   in
   match instance with
@@ -230,7 +237,9 @@ let family_arg =
     required
     & pos 0 (some string) None
     & info [] ~docv:"FAMILY"
-        ~doc:"Instance family: php, random, xorchain, grid, unit-conflict.")
+        ~doc:
+          "Instance family: php, random, xorchain, grid, unit-conflict, \
+           sudoku.")
 
 let out_arg =
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write DIMACS to $(docv) instead of stdout.")
@@ -256,7 +265,10 @@ let gen_cmd =
       $ Arg.(value & flag & info [ "sat" ] ~doc:"Pin xorchain inputs to odd parity (satisfiable); default unsatisfiable.")
       $ Arg.(value & opt int 3 & info [ "width" ] ~docv:"W" ~doc:"Grid width (grid family).")
       $ Arg.(value & opt int 3 & info [ "height" ] ~docv:"H" ~doc:"Grid height (grid family).")
-      $ Arg.(value & opt int 2 & info [ "colors" ] ~docv:"C" ~doc:"Colors (grid family)."))
+      $ Arg.(value & opt int 2 & info [ "colors" ] ~docv:"C" ~doc:"Colors (grid family).")
+      $ Arg.(value & opt int 2 & info [ "box" ] ~docv:"N" ~doc:"Box size (sudoku family): the grid is N²×N².")
+      $ Arg.(value & opt int 0 & info [ "givens" ] ~docv:"G" ~doc:"Cells pinned to a fixed valid solution (sudoku family).")
+      $ Arg.(value & flag & info [ "conflict" ] ~doc:"Pin cell (0,0) to two values — unsatisfiable (sudoku family)."))
 
 let fuzz_cmd =
   Cmd.v

@@ -157,6 +157,26 @@ let parse_subset s =
       | D.Parser.Clause_rule _ -> failwith "subset must contain only facts")
     D.Fact.Set.empty clauses
 
+(* Analysis-driven preparation shared by explain/batch: runs the
+   abstract-interpretation layer when cost planning or slicing is
+   requested, applies the slice, and returns the (possibly sliced)
+   program and database plus the planner statistics. The slice report
+   goes to stderr, keeping stdout diffable against an unsliced run. *)
+let prepare ~plan ~slice query_pred program db =
+  if plan = `Heuristic && not slice then (program, db, None)
+  else begin
+    let analysis = A.Absint.analyze program db in
+    let stats =
+      if plan = `Cost then Some (A.Absint.stats analysis) else None
+    in
+    if slice then begin
+      let s = A.Absint.slice analysis ~query:(D.Symbol.intern query_pred) in
+      Format.eprintf "%a@." A.Absint.pp_slice s;
+      (s.A.Absint.s_program, A.Absint.relevant_db s db, stats)
+    end
+    else (program, db, stats)
+  end
+
 (* --- Commands --------------------------------------------------------- *)
 
 let cmd_answers () path query_pred =
@@ -179,11 +199,12 @@ let check_derivable closure fact =
   end
 
 let cmd_explain () path query_pred tuple limit use_tc smallest witness
-    no_preprocess minimize =
+    no_preprocess minimize plan slice =
   let program, db = load_checked ~query:query_pred path in
+  let program, db, stats = prepare ~plan ~slice query_pred program db in
   let q = P.Explain.query program query_pred in
   let fact = P.Explain.goal q (parse_tuple tuple) in
-  let closure = P.Closure.build program db fact in
+  let closure = P.Closure.build ?stats program db fact in
   check_derivable closure fact;
   let preprocess = not no_preprocess in
   if witness then begin
@@ -222,8 +243,9 @@ let cmd_explain () path query_pred tuple limit use_tc smallest witness
   end
 
 let cmd_batch () path query_pred tuples all jobs limit budget no_preprocess
-    minimize =
+    minimize plan slice =
   let program, db = load_checked ~query:query_pred path in
+  let program, db, stats = prepare ~plan ~slice query_pred program db in
   let q = P.Explain.query program query_pred in
   let explicit = tuples <> [] && not all in
   let spec =
@@ -234,7 +256,7 @@ let cmd_batch () path query_pred tuples all jobs limit budget no_preprocess
   let conflict_budget = if budget > 0 then Some budget else None in
   let outcome =
     P.Batch.run ~jobs ~limit ?conflict_budget ~preprocess:(not no_preprocess)
-      ~minimize_blocking:minimize program db spec
+      ~minimize_blocking:minimize ?stats program db spec
   in
   (* Stdout is tuple-ordered and independent of --jobs: the paired
      smoke tests diff a --jobs 1 run against a --jobs 2 run. *)
@@ -298,6 +320,38 @@ let cmd_analyze () path query format deny_warnings =
     || (deny_warnings && result.A.Check.warnings > 0)
   in
   exit (if failed then 1 else 0)
+
+(* The abstract-interpretation report: whyprov analyze FILE [-q PRED]
+   [--plans]. Everything printed is deterministic (schema order, sorted
+   adornments), so the CLI smoke tests diff it against a golden file. *)
+let cmd_absint_report () path query plans =
+  let program, db = load_checked ?query path in
+  let analysis = A.Absint.analyze program db in
+  Format.printf "%a@." A.Absint.pp analysis;
+  (match query with
+  | None -> ()
+  | Some qp ->
+    let qsym = D.Symbol.intern qp in
+    (match A.Absint.adornments analysis ~query:qsym with
+    | [] -> ()
+    | ads ->
+      Format.printf "adornments (query %s, all arguments bound):@." qp;
+      List.iter
+        (fun (p, ad) -> Format.printf "  %s^%s@." (D.Symbol.name p) ad)
+        ads);
+    Format.printf "%a@." A.Absint.pp_slice (A.Absint.slice analysis ~query:qsym));
+  if plans then begin
+    let stats = A.Absint.stats analysis in
+    Format.printf "join plans (full-evaluation tasks, heuristic vs cost):@.";
+    List.iter
+      (fun r ->
+        Format.printf "rule %d: %a@." r.D.Rule.id D.Rule.pp r;
+        Format.printf "  heuristic: %a@." D.Plan.pp
+          (D.Plan.compile program r ~delta:(-1));
+        Format.printf "  cost:      %a@." D.Plan.pp
+          (D.Plan.compile ~stats program r ~delta:(-1)))
+      (D.Program.rules program)
+  end
 
 let cmd_member () path query_pred tuple subset variant =
   let program, db = load_file path in
@@ -551,6 +605,38 @@ let deny_warnings_arg =
     & info [ "deny-warnings" ]
         ~doc:"Exit 1 when any warning is reported (CI gate).")
 
+let plan_arg =
+  let modes = Arg.enum [ ("heuristic", `Heuristic); ("cost", `Cost) ] in
+  Arg.(
+    value
+    & opt modes `Heuristic
+    & info [ "plan" ] ~docv:"MODE"
+        ~doc:
+          "Join-order mode for the fixpoint: $(b,heuristic) (default; \
+           bound-prefix scoring) or $(b,cost) (cardinality estimates from \
+           the abstract-interpretation layer, docs/ABSINT.md). The model, \
+           the answers and every why-provenance set are identical in \
+           either mode.")
+
+let slice_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "slice" ]
+        ~doc:
+          "Drop rules and extensional predicates that provably cannot \
+           contribute to the query before evaluating (query-relevance \
+           slice, docs/ABSINT.md; report on stderr). Answers, members \
+           and ranks are unchanged.")
+
+let plans_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "plans" ]
+        ~doc:
+          "Also print each rule's compiled join order in both plan modes.")
+
 let variant_arg =
   Arg.(value & opt string "any" & info [ "variant" ] ~docv:"V" ~doc:"Proof-tree class: any, un, nr or md.")
 
@@ -615,7 +701,7 @@ let answers_cmd =
 
 let explain_cmd =
   Cmd.v (Cmd.info "explain" ~doc:"Enumerate the why-provenance (unambiguous proof trees) of an answer")
-    Term.(const cmd_explain $ stats_term $ file_arg $ query_arg $ tuple_arg $ limit_arg $ tc_arg $ smallest_arg $ witness_arg $ no_preprocess_arg $ minimize_arg)
+    Term.(const cmd_explain $ stats_term $ file_arg $ query_arg $ tuple_arg $ limit_arg $ tc_arg $ smallest_arg $ witness_arg $ no_preprocess_arg $ minimize_arg $ plan_arg $ slice_arg)
 
 let batch_cmd =
   Cmd.v
@@ -627,7 +713,7 @@ let batch_cmd =
     Term.(
       const cmd_batch $ stats_term $ file_arg $ query_arg $ tuples_arg
       $ all_arg $ jobs_arg $ limit_arg $ budget_arg $ no_preprocess_arg
-      $ minimize_arg)
+      $ minimize_arg $ plan_arg $ slice_arg)
 
 let check_cmd =
   Cmd.v
@@ -640,6 +726,18 @@ let check_cmd =
     Term.(
       const cmd_analyze $ stats_term $ file_arg $ opt_query_arg $ format_arg
       $ deny_warnings_arg)
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Run the abstract-interpretation layer (docs/ABSINT.md) and print \
+          its report: per-argument constant values, cardinality estimates, \
+          provably-empty predicates and, with $(b,-q), adorned binding \
+          patterns and the query-relevance slice.")
+    Term.(
+      const cmd_absint_report $ stats_term $ file_arg $ opt_query_arg
+      $ plans_arg)
 
 let member_cmd =
   Cmd.v (Cmd.info "member" ~doc:"Decide membership of a subset in the why-provenance")
@@ -660,4 +758,4 @@ let stats_cmd =
 let () =
   let doc = "why-provenance for Datalog queries (PODS 2024 reproduction)" in
   let info = Cmd.info "whyprov" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ answers_cmd; explain_cmd; batch_cmd; check_cmd; member_cmd; tree_cmd; stats_cmd; repl_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ answers_cmd; explain_cmd; batch_cmd; check_cmd; analyze_cmd; member_cmd; tree_cmd; stats_cmd; repl_cmd ]))

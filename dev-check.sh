@@ -148,6 +148,39 @@ fi
 # Analyzer over every bundled workload program (zero errors, classified).
 dune exec --no-build test/cli/check_workloads.exe > /dev/null
 
+echo "== absint smoke (analyze report, --plan=cost, --slice, docs/ABSINT.md)"
+a1=$(mktemp -t whyprov-absint1.XXXXXX)
+a2=$(mktemp -t whyprov-absint2.XXXXXX)
+trap 'rm -f "$out" "$b1" "$b2" "$bstats" "$t1" "$t2" "$prog" "$p1" "$p2" "$a1" "$a2"' EXIT
+
+# The abstract-interpretation report (derivability, constants,
+# cardinality estimates, adorned plans, slice) is golden-diffed, same
+# files as the dune test rules.
+dune exec --no-build bin/whyprov.exe -- \
+  analyze examples/mutual.dl -q even --plans > "$a1"
+diff test/cli/expected_analyze_mutual.txt "$a1"
+dune exec --no-build bin/whyprov.exe -- \
+  analyze examples/sliceable.dl -q tc > "$a1"
+diff test/cli/expected_analyze_sliceable.txt "$a1"
+
+# Plan mode is cost-transparent: under --smallest the member order is
+# cardinality-sorted with deterministic refinement, so cost-based and
+# heuristic join orders must produce byte-identical explains.
+dune exec --no-build bin/whyprov.exe -- \
+  explain examples/reach.dl -q tc -t a,c --smallest > "$a1"
+dune exec --no-build bin/whyprov.exe -- \
+  explain examples/reach.dl -q tc -t a,c --smallest --plan=cost > "$a2"
+diff "$a1" "$a2"
+
+# Slicing is semantics-preserving: the q-cone slice drops only rules
+# that cannot contribute, so explain output is unchanged (the slice
+# report itself goes to stderr).
+dune exec --no-build bin/whyprov.exe -- \
+  explain examples/sliceable.dl -q tc -t a,c > "$a1"
+dune exec --no-build bin/whyprov.exe -- \
+  explain examples/sliceable.dl -q tc -t a,c --slice > "$a2" 2> /dev/null
+diff "$a1" "$a2"
+
 echo "== engine smoke (flat-tuple engine counters on examples/reach.dl)"
 # A recursive program must drive every moving part of the flat engine:
 # at least two semi-naive rounds, compiled join plans, index probes

@@ -610,11 +610,24 @@ let diagnostic_json (d : Diagnostic.t) =
       ("message", Json.Str d.Diagnostic.message);
     ]
 
-let classification_json (c : Classify.t) =
+let classification_json ?program (c : Classify.t) =
+  (* The per-SCC "cycle" witness needs the program's rules; [None] (and
+     JSON null) when the classification was computed without one, or
+     for non-recursive components. *)
+  let cycle_json (s : Classify.scc) =
+    match program with
+    | Some prog when s.Classify.recursive -> (
+      match Classify.cycle_witness prog s.Classify.preds with
+      | Some cycle ->
+        Json.List (List.map (fun p -> Json.Str (Symbol.name p)) cycle)
+      | None -> Json.Null)
+    | _ -> Json.Null
+  in
   Json.Obj
     [
       ("name", Json.Str (Classify.cls_name c.Classify.cls));
       ("description", Json.Str (Classify.cls_describe c.Classify.cls));
+      ("summary", Json.Str (Classify.summary c));
       ("linear", Json.Bool c.Classify.linear);
       ("recursive", Json.Bool c.Classify.recursive);
       ("piecewise_linear", Json.Bool c.Classify.piecewise_linear);
@@ -633,6 +646,7 @@ let classification_json (c : Classify.t) =
                           s.Classify.preds) );
                    ("recursive", Json.Bool s.Classify.recursive);
                    ("stratum", Json.Num (float_of_int s.Classify.stratum));
+                   ("cycle", cycle_json s);
                  ])
              c.Classify.sccs) );
     ]
@@ -645,7 +659,7 @@ let selection_json (s : Selection.t) =
       ("reason", Json.Str s.Selection.reason);
     ]
 
-let json_schema_version = "whyprov.check/1"
+let json_schema_version = "whyprov.check/2"
 
 let to_json ?file r =
   Json.Obj
@@ -658,7 +672,7 @@ let to_json ?file r =
         ("infos", Json.Num (float_of_int r.infos));
         ( "class",
           match r.classification with
-          | Some c -> classification_json c
+          | Some c -> classification_json ?program:r.program c
           | None -> Json.Null );
         ( "selection",
           match r.selection with

@@ -77,3 +77,73 @@ let plan program =
 
 let skip_acyclicity program = (plan program).skip_acyclicity
 let fo_eligible program = (plan program).fo_eligible
+
+(* --- Query-cone widening -------------------------------------------- *)
+
+let m_fo_cone = Metrics.counter "analysis.selection.fo_cone"
+
+(* Rules whose head predicate is backward-reachable from the query.
+   Every derivation of a query fact uses only such rules (the cone is
+   backward-closed), so the cone subprogram derives exactly the same
+   query facts from any database — with exactly the same proof trees. *)
+let cone_rules program query =
+  let relevant : (Symbol.t, unit) Hashtbl.t = Hashtbl.create 16 in
+  let rec visit p =
+    if not (Hashtbl.mem relevant p) then begin
+      Hashtbl.replace relevant p ();
+      List.iter
+        (fun r ->
+          List.iter (fun (a : Atom.t) -> visit a.Atom.pred) (Rule.body r))
+        (Program.rules_for program p)
+    end
+  in
+  visit query;
+  List.filter
+    (fun r -> Hashtbl.mem relevant (Rule.head r).Atom.pred)
+    (Program.rules program)
+
+(* Memoized per (program, query) by physical identity on the program:
+   callers key further caches (Explain's compiled rewritings) on the
+   returned cone, so it must be physically stable across calls. *)
+let cone_cache : (Program.t * Symbol.t * Program.t option) list Atomic.t =
+  Atomic.make []
+
+let fo_cone program query =
+  let result =
+    match
+      List.find_opt
+        (fun (p, q, _) -> p == program && Symbol.equal q query)
+        (Atomic.get cone_cache)
+    with
+    | Some (_, _, res) -> res
+    | None ->
+      let res =
+        if not (Program.is_idb program query) then None
+        else begin
+          let rules = cone_rules program query in
+          if List.length rules = List.length (Program.rules program) then
+            (* The cone is the whole program: the whole-program
+               [fo_eligible] gate has already decided. *)
+            None
+          else
+            let cone = Program.make rules in
+            let cls = Classify.classify cone in
+            if
+              (not cls.Classify.recursive)
+              && constant_free cone
+              && List.length rules <= max_fo_rules
+            then Some cone
+            else None
+        end
+      in
+      let entries = (program, query, res) :: Atomic.get cone_cache in
+      let entries =
+        if List.length entries > cache_limit then
+          List.filteri (fun i _ -> i < cache_limit) entries
+        else entries
+      in
+      Atomic.set cone_cache entries;
+      res
+  in
+  if result <> None then Metrics.incr m_fo_cone;
+  result

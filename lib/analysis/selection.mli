@@ -28,6 +28,18 @@ val plan : Program.t -> t
 val skip_acyclicity : Program.t -> bool
 val fo_eligible : Program.t -> bool
 
+val fo_cone : Program.t -> Symbol.t -> Program.t option
+(** Query-cone widening of {!fo_eligible}: even when the whole program
+    fails the FO gates, the backward cone of one query predicate may be
+    non-recursive, constant-free and small. Returns the cone subprogram
+    to FO-rewrite in that case — every derivation of a query fact uses
+    only cone rules, so the rewriting over the cone decides membership
+    for the full program. [None] when the query is not intensional, the
+    cone is the whole program (the whole-program gate already decided),
+    or a gate fails. Memoized per (program, query) by physical identity;
+    the returned cone is physically stable across calls, so callers may
+    key further caches on it. Counted as [analysis.selection.fo_cone]. *)
+
 val constant_free : Program.t -> bool
 (** No constants in any rule atom (facts live in the database). *)
 

@@ -64,6 +64,7 @@ val run :
   ?max_fill:int ->
   ?preprocess:bool ->
   ?minimize_blocking:bool ->
+  ?stats:Stats.t ->
   Program.t ->
   Database.t ->
   spec ->
@@ -75,6 +76,10 @@ val run :
     solver descent of a tuple, turning budget overruns into
     [Budget_exhausted] instead of unbounded solving. [acyclicity],
     [max_fill] and [preprocess] are passed to {!Encode.make};
-    [minimize_blocking] to {!Enumerate.of_parts}. *)
+    [minimize_blocking] to {!Enumerate.of_parts}; [stats] switches the
+    materialization to cost-based join ordering
+    ({!Datalog.Eval.seminaive}) — per-tuple results are identical
+    either way, though member production order within a tuple may
+    differ with the model's iteration order. *)
 
 val pp_status : Format.formatter -> status -> unit

@@ -23,10 +23,12 @@ type hyperedge = {
 
 type t
 
-val build : Program.t -> Database.t -> Fact.t -> t
+val build : ?stats:Stats.t -> Program.t -> Database.t -> Fact.t -> t
 (** [build program db root] materializes the model and computes the
     downward closure of [root]. If [root ∉ Σ(D)], the closure contains
-    the root node only and no hyperedges. *)
+    the root node only and no hyperedges. [stats] selects cost-based
+    join ordering for the materialization (see {!Datalog.Eval.seminaive});
+    the closure is identical either way. *)
 
 val build_with_model : Program.t -> model:Database.t -> Database.t -> Fact.t -> t
 (** Same, reusing an already materialized model. *)

@@ -91,14 +91,23 @@ let why_provenance ~variant q db fact candidate =
   in
   let fast =
     match fo_variant with
-    | Some fo
-      when Symbol.equal (Fact.pred fact) q.answer_pred
-           && Whyprov_analysis.Selection.fo_eligible q.program ->
-      if Fact.Set.for_all (Database.mem db) candidate then
-        Option.map
-          (fun rw -> Fo_rewrite.member rw candidate (Fact.args fact))
-          (compiled_rewriting q.program q.answer_pred fo)
-      else Some false (* candidates must be sub-databases of [db] *)
+    | Some fo when Symbol.equal (Fact.pred fact) q.answer_pred -> (
+      (* Whole-program eligibility first; otherwise the query-cone
+         widening: the cone subprogram has exactly the query fact's
+         derivations, so its rewriting decides the same membership. *)
+      let target =
+        if Whyprov_analysis.Selection.fo_eligible q.program then
+          Some q.program
+        else Whyprov_analysis.Selection.fo_cone q.program q.answer_pred
+      in
+      match target with
+      | None -> None
+      | Some fo_program ->
+        if Fact.Set.for_all (Database.mem db) candidate then
+          Option.map
+            (fun rw -> Fo_rewrite.member rw candidate (Fact.args fact))
+            (compiled_rewriting fo_program q.answer_pred fo)
+        else Some false (* candidates must be sub-databases of [db] *))
     | _ -> None
   in
   match fast with

@@ -27,12 +27,20 @@ val naive : Program.t -> Database.t -> Database.t
     Used as a test oracle for [seminaive]. *)
 
 val seminaive :
-  ?ranks:int Fact.Table.t -> ?jobs:int -> Program.t -> Database.t -> Database.t
+  ?ranks:int Fact.Table.t ->
+  ?jobs:int ->
+  ?stats:Stats.t ->
+  Program.t ->
+  Database.t ->
+  Database.t
 (** Semi-naive fixpoint; returns the model [Σ(D)]. If [ranks] is given it
     is filled with the first-derivation round of every model fact
     (0 for database facts). Delegates to the interned flat-tuple engine
     ({!Engine.seminaive}); [jobs] (default 1) evaluates each round's
-    rule tasks across that many domains without changing any result. *)
+    rule tasks across that many domains without changing any result;
+    [stats] switches the compiled join plans to cost-based ordering
+    (same model and ranks, possibly different model iteration order —
+    see {!Engine.seminaive}). *)
 
 val seminaive_structural :
   ?ranks:int Fact.Table.t -> Program.t -> Database.t -> Database.t

@@ -1,6 +1,6 @@
 (** Differential fuzzing with shrinking (docs/HARDENING.md).
 
-    One seeded loop, three differentials per iteration:
+    One seeded loop, five differentials per iteration:
 
     - {b CNF}: a random or structured formula ({!Gen}) solved by a
       portfolio of pipeline configurations (preprocessing on/off,
@@ -10,9 +10,16 @@
     - {b engine}: a random Datalog program ({!Workloads.Randprog})
       through the flat engine at jobs 1 and 2 vs the structural
       reference engine (model set and ranks).
+    - {b planner}: the same program evaluated under cost-based join
+      plans ({!Whyprov_analysis.Absint} cardinality estimates) vs the
+      heuristic planner — model set and ranks must be identical.
     - {b provenance}: the SAT-based [why_UN] enumeration (preprocessing
       on/off) vs the powerset oracle ({!Oracle.why_un_powerset}) on a
       tiny database, for every derived IDB fact.
+    - {b slice}: the query-relevance slice of the tiny instance for
+      every IDB predicate — {!Whyprov_analysis.Absint.certify} must
+      hold, and the why-sets of every derived query fact must agree
+      between the sliced and unsliced pipelines.
 
     A disagreement is greedily minimized (clauses/literals, or
     rules/facts) and rendered as a reproducer whose header records
@@ -59,15 +66,19 @@ val shrink_cnf :
     1-minimal failing list. [failing] must hold of the input. *)
 
 val check_engine : Workloads.Randprog.t -> (unit, string) result
+val check_planner : Workloads.Randprog.t -> (unit, string) result
+val check_slice : Workloads.Randprog.t -> (unit, string) result
 val check_provenance : Workloads.Randprog.t -> (unit, string) result
-(** The two Datalog differentials. [check_provenance] expects the
-    (deduplicated) database within the powerset oracle's reach.
-    @raise Invalid_argument beyond 9 facts. *)
+(** The Datalog differentials. [check_provenance] expects the
+    (deduplicated) database within the powerset oracle's reach
+    ([check_slice] silently skips its why-set comparison beyond that,
+    but always checks the certificate).
+    @raise Invalid_argument beyond 9 facts ([check_provenance] only). *)
 
 type bug = {
   seed : int;
   iter : int;
-  kind : string;                      (** "cnf", "engine", "provenance" *)
+  kind : string;  (** "cnf", "engine", "planner", "slice", "provenance" *)
   detail : string;                    (** instance family / solver label *)
   message : string;
   cnf : Gen.cnf option;               (** shrunk, for [kind = "cnf"] *)
@@ -79,6 +90,8 @@ type summary = {
   s_iters : int;
   s_cnf_checks : int;
   s_engine_checks : int;
+  s_planner_checks : int;
+  s_slice_checks : int;
   s_prov_checks : int;
   s_bugs : bug list;  (** in discovery order *)
 }

@@ -209,3 +209,66 @@ let grid_coloring ~width ~height ~colors =
   { nvars = width * height * colors; clauses = at_least_one @ conflicts }
 
 let unit_conflict () = { nvars = 1; clauses = [ [ L.pos 0 ]; [ L.neg 0 ] ] }
+
+(* Sudoku on an n²×n² grid of n×n boxes: variable v(r,c,k) means cell
+   (r,c) holds value k+1. Exactly-one per cell, at-most-one per value in
+   every row, column and box — the standard pairwise encoding. Givens
+   are unit clauses pinning Rng-chosen cells to a fixed valid solution
+   (the cyclic-shift pattern), so the instance is satisfiable by
+   construction; [conflict] pins cell (0,0) to two different values,
+   which the cell's at-most-one clause refutes — unsatisfiable whatever
+   the givens. *)
+let sudoku ?(givens = 0) ?(conflict = false) rng ~box =
+  if box < 1 then invalid_arg "Gen.sudoku: box < 1";
+  let n = box in
+  let side = n * n in
+  let v r c k = (r * side * side) + (c * side) + k in
+  let clauses = ref [] in
+  let emit c = clauses := c :: !clauses in
+  (* Cell constraints: at least one value, pairwise at most one. *)
+  for r = 0 to side - 1 do
+    for c = 0 to side - 1 do
+      emit (List.init side (fun k -> L.pos (v r c k)));
+      for k1 = 0 to side - 1 do
+        for k2 = k1 + 1 to side - 1 do
+          emit [ L.neg (v r c k1); L.neg (v r c k2) ]
+        done
+      done
+    done
+  done;
+  (* A value appears at most once per unit: rows, columns, boxes. *)
+  let at_most_one_in cells =
+    let cells = Array.of_list cells in
+    for k = 0 to side - 1 do
+      for i = 0 to Array.length cells - 1 do
+        for j = i + 1 to Array.length cells - 1 do
+          let r1, c1 = cells.(i) and r2, c2 = cells.(j) in
+          emit [ L.neg (v r1 c1 k); L.neg (v r2 c2 k) ]
+        done
+      done
+    done
+  in
+  for r = 0 to side - 1 do
+    at_most_one_in (List.init side (fun c -> (r, c)))
+  done;
+  for c = 0 to side - 1 do
+    at_most_one_in (List.init side (fun r -> (r, c)))
+  done;
+  for br = 0 to n - 1 do
+    for bc = 0 to n - 1 do
+      at_most_one_in
+        (List.init side (fun i -> ((br * n) + (i / n), (bc * n) + (i mod n))))
+    done
+  done;
+  (* The canonical valid grid: value(r,c) = (r·n + r/n + c) mod n². *)
+  let solution r c = ((r * n) + (r / n) + c) mod side in
+  let cells = Array.init (side * side) (fun i -> (i / side, i mod side)) in
+  if givens > 0 then begin
+    let picked = Util.Rng.sample rng (min givens (side * side)) cells in
+    Array.iter (fun (r, c) -> emit [ L.pos (v r c (solution r c)) ]) picked
+  end;
+  if conflict then begin
+    emit [ L.pos (v 0 0 0) ];
+    emit [ L.pos (v 0 0 1) ]
+  end;
+  { nvars = side * side * side; clauses = List.rev !clauses }

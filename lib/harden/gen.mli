@@ -91,3 +91,13 @@ val grid_coloring : width:int -> height:int -> colors:int -> cnf
 val unit_conflict : unit -> cnf
 (** [{x}, {¬x}] — the smallest unsatisfiable CNF; the corpus's
     degenerate-input canary. *)
+
+val sudoku : ?givens:int -> ?conflict:bool -> Util.Rng.t -> box:int -> cnf
+(** Sudoku on the [box²×box²] grid of [box×box] boxes, pairwise-encoded:
+    exactly one value per cell, each value at most once per row, column
+    and box. Variable [(r·side + c)·side + k] (with [side = box²])
+    means cell [(r,c)] holds value [k+1]. [givens] (default 0) pins
+    that many Rng-chosen cells to a fixed valid solution — satisfiable
+    by construction. [conflict] (default false) pins cell [(0,0)] to
+    two different values — unsatisfiable whatever the givens. [box = 3]
+    is the newspaper puzzle: 729 variables. *)

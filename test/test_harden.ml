@@ -46,7 +46,14 @@ let test_families () =
   check_outcome "xor-chain sat" `Sat (Gen.xor_chain ~length:12 ~sat:true);
   check_outcome "xor-chain unsat" `Unsat (Gen.xor_chain ~length:12 ~sat:false);
   check_outcome "grid 3x3x2" `Sat (Gen.grid_coloring ~width:3 ~height:3 ~colors:2);
-  check_outcome "grid 2x2x1" `Unsat (Gen.grid_coloring ~width:2 ~height:2 ~colors:1)
+  check_outcome "grid 2x2x1" `Unsat (Gen.grid_coloring ~width:2 ~height:2 ~colors:1);
+  check_outcome "sudoku box 2" `Sat (Gen.sudoku (Util.Rng.create 1) ~box:2);
+  check_outcome "sudoku box 2 + givens" `Sat
+    (Gen.sudoku ~givens:6 (Util.Rng.create 2) ~box:2);
+  check_outcome "sudoku box 3 + givens" `Sat
+    (Gen.sudoku ~givens:30 (Util.Rng.create 3) ~box:3);
+  check_outcome "sudoku conflict" `Unsat
+    (Gen.sudoku ~conflict:true (Util.Rng.create 4) ~box:2)
 
 let test_random_kcnf_shape () =
   let rng = Util.Rng.create 11 in

@@ -24,4 +24,5 @@ let () =
       Test_batch.suite;
       Test_tracing.suite;
       Test_harden.suite;
+      Test_absint.suite;
     ]
