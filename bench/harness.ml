@@ -25,6 +25,9 @@ type config = {
   mutable jobs : int;          (* worker domains for the batch experiment *)
   mutable stats_out : string option; (* JSONL sink, e.g. BENCH_fig1.json *)
   mutable trace_out : string option; (* Chrome trace sink (--trace-out) *)
+  mutable rev : string option;       (* --rev label stamped on each row *)
+  mutable check : string option;     (* baseline JSONL to regress against *)
+  mutable check_tol : float;         (* allowed slowdown ratio for *_s *)
 }
 
 let config =
@@ -39,41 +42,77 @@ let config =
     jobs = 4;
     stats_out = None;
     trace_out = None;
+    rev = None;
+    check = None;
+    check_tol = 1.6;
   }
 
 (* --- Stats rows (--stats-out) ------------------------------------------ *)
 
 (* With --stats-out FILE every measured pipeline stage appends one JSON
-   row to FILE: {"kind"; "goal"; stage fields...; "metrics": <snapshot>}.
+   row to FILE: {"kind"; envelope; stage fields...; "metrics": <snapshot>}.
    The metrics registry is reset at the start of each measurement, so a
    row's "metrics" object is that stage's own activity — the schema of
-   the snapshot is the one documented in docs/OBSERVABILITY.md. *)
+   the snapshot is the one documented in docs/OBSERVABILITY.md.
 
+   Every row carries the common envelope (EXPERIMENTS.md, "The row
+   envelope"): "schema" = whyprov.bench/1, "workload" (the experiment
+   being run, unless the stage already names one), "seed", "elapsed_s"
+   since harness start, and the optional --rev label. The envelope is
+   what makes BENCH_*.json files comparable across revisions — the
+   regression gate ([--check], {!Regress}) matches rows by (kind,
+   ordinal) and compares field by field. *)
+
+let bench_schema_version = "whyprov.bench/1"
+let run_start = Unix.gettimeofday ()
+
+(* The experiment currently running; set by main.ml before dispatch so
+   rows that don't name a workload themselves inherit it. *)
+let current_workload = ref "-"
+
+(* Rows of this run, in emission order — the fresh side of --check. *)
+let collected_rows : Metrics.Json.t list ref = ref []
 let stats_channel = ref None
+let recording () = config.stats_out <> None || config.check <> None
 
 let emit_stats_row kind fields =
-  match config.stats_out with
-  | None -> ()
-  | Some path ->
-    let oc =
-      match !stats_channel with
-      | Some oc -> oc
-      | None ->
-        let oc = open_out path in
-        stats_channel := Some oc;
-        at_exit (fun () -> close_out oc);
-        oc
+  if recording () then begin
+    let envelope =
+      Metrics.Json.(
+        [ ("schema", Str bench_schema_version) ]
+        @ (if List.mem_assoc "workload" fields then []
+           else [ ("workload", Str !current_workload) ])
+        @ [
+            ("seed", Num (float_of_int config.seed));
+            ("elapsed_s", Num (Unix.gettimeofday () -. run_start));
+          ]
+        @ (match config.rev with Some r -> [ ("rev", Str r) ] | None -> []))
     in
     let row =
       Metrics.Json.Obj
-        ((("kind", Metrics.Json.Str kind) :: fields)
+        ((("kind", Metrics.Json.Str kind) :: envelope)
+        @ fields
         @ [ ("metrics", Metrics.snapshot_to_json ()) ])
     in
-    output_string oc (Metrics.Json.to_string row);
-    output_char oc '\n';
-    flush oc
+    collected_rows := row :: !collected_rows;
+    match config.stats_out with
+    | None -> ()
+    | Some path ->
+      let oc =
+        match !stats_channel with
+        | Some oc -> oc
+        | None ->
+          let oc = open_out path in
+          stats_channel := Some oc;
+          at_exit (fun () -> close_out oc);
+          oc
+      in
+      output_string oc (Metrics.Json.to_string row);
+      output_char oc '\n';
+      flush oc
+  end
 
-let stats_begin () = if config.stats_out <> None then Metrics.reset ()
+let stats_begin () = if recording () then Metrics.reset ()
 
 (* --- Scenario registry ------------------------------------------------- *)
 

@@ -14,7 +14,8 @@ let usage () =
   print_endline
     "usage: main.exe [--scale F] [--tuples N] [--limit N] [--timeout S] \
      [--budget N] [--seed N] [--jobs N] [--stats-out FILE.json] \
-     [--trace-out FILE.json] \
+     [--trace-out FILE.json] [--rev LABEL] [--check BASELINE.json] \
+     [--check-tol R] \
      [table1|fig1|fig2|fig3|fig4|fig5|hardness|ablation|combined|batch|analysis|engine|planner|preprocess|tracing|corpus|micro|all]...";
   exit 1
 
@@ -66,6 +67,21 @@ let () =
             close_out oc
           with Sys_error msg -> Printf.eprintf "bench: --trace-out: %s\n" msg);
       parse rest
+    | "--rev" :: v :: rest ->
+      (* Revision label stamped into every row's envelope, so committed
+         BENCH_*.json files say which checkout produced them. *)
+      Harness.config.Harness.rev <- Some v;
+      parse rest
+    | "--check" :: v :: rest ->
+      (* Regression gate (EXPERIMENTS.md): re-run the listed experiments,
+         compare the emitted rows against the baseline JSONL within
+         per-metric tolerances, exit 1 on regression. *)
+      Harness.config.Harness.check <- Some v;
+      Util.Metrics.set_enabled true;
+      parse rest
+    | "--check-tol" :: v :: rest ->
+      Harness.config.Harness.check_tol <- float_of_string v;
+      parse rest
     | ("--help" | "-h") :: _ -> usage ()
     | name :: rest ->
       experiments := name :: !experiments;
@@ -75,7 +91,7 @@ let () =
   let experiments =
     match List.rev !experiments with [] -> [ "all" ] | list -> list
   in
-  let run = function
+  let dispatch = function
     | "table1" -> Experiments.table1 ()
     | "fig1" -> Experiments.fig1 ()
     | "fig2" -> Experiments.fig2 ()
@@ -113,8 +129,18 @@ let () =
       Printf.eprintf "unknown experiment %S\n" other;
       usage ()
   in
+  let run name =
+    Harness.current_workload := name;
+    dispatch name
+  in
   Printf.printf
     "why-provenance benchmark harness (scale %.2f, %d tuples/db, %d member cap, %.0fs tuple timeout)\n"
     Harness.config.Harness.scale Harness.config.Harness.tuples
     Harness.config.Harness.member_limit Harness.config.Harness.tuple_timeout;
-  List.iter run experiments
+  List.iter run experiments;
+  match Harness.config.Harness.check with
+  | None -> ()
+  | Some baseline ->
+    exit
+      (Regress.check ~tol:Harness.config.Harness.check_tol ~baseline
+         (List.rev !Harness.collected_rows))

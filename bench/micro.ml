@@ -167,6 +167,21 @@ let tests () =
              (fun () ->
                let e = P.Enumerate.of_closure closure in
                ignore (P.Enumerate.next e))));
+    (* Profiler kernels, same discipline: the engine with the rule
+       profiler compiled in but disabled (the flag is sampled once per
+       fixpoint, so "off" must stay within the < 2% satellite budget of
+       the uninstrumented run) and enabled (per-instruction closure
+       wrapping plus task buffers; reset each run so the accumulator
+       never grows). *)
+    Test.make ~name:"profile:seminaive-off"
+      (Staged.stage (fun () -> ignore (D.Eval.seminaive program db)));
+    Test.make ~name:"profile:seminaive-on"
+      (Staged.stage (fun () ->
+           D.Profile.reset ();
+           D.Profile.set_enabled true;
+           Fun.protect
+             ~finally:(fun () -> D.Profile.set_enabled false)
+             (fun () -> ignore (D.Eval.seminaive program db))));
     (* Ablation kernel: the two acyclicity encodings. *)
     Test.make ~name:"ablation:encode-ve"
       (Staged.stage (fun () ->

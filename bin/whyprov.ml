@@ -114,10 +114,33 @@ let setup_progress progress =
           t.Sat.Solver.t_solves t.Sat.Solver.t_conflicts
           t.Sat.Solver.t_restarts t.Sat.Solver.t_learnt_clauses)
 
-let setup_obs stats stats_out trace trace_jsonl progress =
+(* Enable the rule-level profiler and register the report for process
+   exit: bare [--profile] prints the human tree to stderr (stdout stays
+   diffable), [--profile=FILE] writes the whyprov.profile/1 JSON
+   document to FILE. The accumulated profile covers every fixpoint the
+   command ran (explain/batch materializations included). *)
+let setup_profile profile =
+  match profile with
+  | None -> ()
+  | Some target ->
+    D.Profile.set_enabled true;
+    at_exit (fun () ->
+        D.Profile.set_enabled false;
+        let prof = D.Profile.snapshot () in
+        if target = "" then Format.eprintf "%a" (D.Profile.pp ?top:None) prof
+        else
+          try
+            let oc = open_out target in
+            output_string oc (Metrics.Json.to_string (D.Profile.to_json prof));
+            output_char oc '\n';
+            close_out oc
+          with Sys_error msg -> Printf.eprintf "whyprov: --profile: %s\n" msg)
+
+let setup_obs stats stats_out trace trace_jsonl progress profile =
   setup_stats stats stats_out;
   setup_tracing trace trace_jsonl;
-  setup_progress progress
+  setup_progress progress;
+  setup_profile profile
 
 let load_file path =
   let rules, facts = D.Parser.split (D.Parser.parse_file path) in
@@ -306,6 +329,48 @@ let cmd_batch () path query_pred tuples all jobs limit budget no_preprocess
       exit 1
   end
 
+(* The rule-level profiler: whyprov profile FILE [-q PRED] [--plan=MODE]
+   [--jobs N]. Materializes the model once with profiling enabled and
+   prints per-rule / per-atom / per-SCC attribution plus the
+   estimate-vs-actual plan audit (estimates from the
+   abstract-interpretation layer, actuals from the profile and the
+   materialized model). Human output is the SCC → rule → atom tree;
+   --format=json emits the whyprov.profile/1 document with an "audit"
+   member. --no-times drops the (nondeterministic) wall-time fields, so
+   two runs of the same instance are byte-identical whatever --jobs. *)
+let cmd_profile () path query jobs plan format top no_times out =
+  let program, db = load_checked ?query path in
+  let analysis = A.Absint.analyze program db in
+  let est = A.Absint.stats analysis in
+  let stats = if plan = `Cost then Some est else None in
+  D.Profile.reset ();
+  D.Profile.set_enabled true;
+  let model = D.Eval.seminaive ~jobs ?stats program db in
+  D.Profile.set_enabled false;
+  let prof = D.Profile.snapshot () in
+  let actual = D.Stats.of_database model in
+  let audit = D.Profile.audit ~est ~actual program prof in
+  match format with
+  | `Human ->
+    Format.printf "%a" (D.Profile.pp ~top) prof;
+    Format.printf "%a" D.Profile.pp_audit audit
+  | `Json -> (
+    let doc =
+      match D.Profile.to_json ~times:(not no_times) prof with
+      | Metrics.Json.Obj fields ->
+        Metrics.Json.Obj
+          (fields @ [ ("audit", D.Profile.audit_to_json audit) ])
+      | other -> other
+    in
+    let line = Metrics.Json.to_string doc in
+    match out with
+    | None -> print_endline line
+    | Some file ->
+      let oc = open_out file in
+      output_string oc line;
+      output_char oc '\n';
+      close_out oc)
+
 (* The static analyzer: whyprov check FILE [-q PRED]. Exit status is the
    contract (docs/ANALYSIS.md): 0 clean or warnings only, 1 on errors or
    (with --deny-warnings) warnings. *)
@@ -324,9 +389,17 @@ let cmd_analyze () path query format deny_warnings =
 (* The abstract-interpretation report: whyprov analyze FILE [-q PRED]
    [--plans]. Everything printed is deterministic (schema order, sorted
    adornments), so the CLI smoke tests diff it against a golden file. *)
-let cmd_absint_report () path query plans =
+let cmd_absint_report () path query plans format =
   let program, db = load_checked ?query path in
   let analysis = A.Absint.analyze program db in
+  match format with
+  | `Json ->
+    print_endline
+      (Metrics.Json.to_string
+         (A.Absint.to_json
+            ?query:(Option.map D.Symbol.intern query)
+            analysis))
+  | `Human ->
   Format.printf "%a@." A.Absint.pp analysis;
   (match query with
   | None -> ()
@@ -690,10 +763,22 @@ let progress_arg =
           "Print live SAT search telemetry to stderr every $(docv) conflicts \
            (default 2048) plus a one-line summary on exit.")
 
+let profile_opt_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "") (some string) None
+    & info [ "profile" ] ~docv:"FILE"
+        ~doc:
+          "Record the rule-level execution profile (docs/OBSERVABILITY.md) \
+           across every fixpoint the command runs: bare $(b,--profile) \
+           prints the SCC → rule → atom tree to stderr on exit, \
+           $(b,--profile=FILE) writes the whyprov.profile/1 JSON document \
+           to $(docv).")
+
 let stats_term =
   Term.(
     const setup_obs $ stats_arg $ stats_out_arg $ trace_arg $ trace_jsonl_arg
-    $ progress_arg)
+    $ progress_arg $ profile_opt_arg)
 
 let answers_cmd =
   Cmd.v (Cmd.info "answers" ~doc:"Evaluate the query and print all answers")
@@ -727,6 +812,17 @@ let check_cmd =
       const cmd_analyze $ stats_term $ file_arg $ opt_query_arg $ format_arg
       $ deny_warnings_arg)
 
+let analyze_format_arg =
+  let fmt = Arg.enum [ ("human", `Human); ("json", `Json) ] in
+  Arg.(
+    value
+    & opt fmt `Human
+    & info [ "format" ] ~docv:"FORMAT"
+        ~doc:
+          "Report format: $(b,human) (the deterministic listing) or \
+           $(b,json) (the whyprov.analyze/1 document of docs/ANALYSIS.md). \
+           $(b,--plans) applies to the human report only.")
+
 let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
@@ -737,7 +833,57 @@ let analyze_cmd =
           patterns and the query-relevance slice.")
     Term.(
       const cmd_absint_report $ stats_term $ file_arg $ opt_query_arg
-      $ plans_arg)
+      $ plans_arg $ analyze_format_arg)
+
+let profile_format_arg =
+  let fmt = Arg.enum [ ("human", `Human); ("json", `Json) ] in
+  Arg.(
+    value
+    & opt fmt `Human
+    & info [ "format" ] ~docv:"FORMAT"
+        ~doc:
+          "Report format: $(b,human) (hot rules, the SCC → rule → atom tree \
+           and the plan audit) or $(b,json) (the whyprov.profile/1 document \
+           with an $(b,audit) member, docs/OBSERVABILITY.md).")
+
+let top_arg =
+  Arg.(
+    value
+    & opt int 5
+    & info [ "top" ] ~docv:"K"
+        ~doc:"Number of hot rules the human report lists (default 5).")
+
+let no_times_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "no-times" ]
+        ~doc:
+          "Omit wall-time fields from the JSON document; everything left is \
+           deterministic and independent of $(b,--jobs).")
+
+let profile_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE"
+        ~doc:"Write the JSON document to $(docv) instead of stdout.")
+
+let profile_cmd =
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Materialize the model with the rule-level profiler enabled and \
+          print per-rule / per-join-atom / per-SCC attribution (wall time, \
+          firings, tuples, duplicates, probes, fan-out, rounds) plus the \
+          estimate-vs-actual plan audit: per-predicate and per-join-step \
+          q-errors against the abstract-interpretation estimates, and the \
+          rules whose mis-estimates would flip the $(b,--plan=cost) join \
+          order.")
+    Term.(
+      const cmd_profile $ stats_term $ file_arg $ opt_query_arg $ jobs_arg
+      $ plan_arg $ profile_format_arg $ top_arg $ no_times_arg
+      $ profile_out_arg)
 
 let member_cmd =
   Cmd.v (Cmd.info "member" ~doc:"Decide membership of a subset in the why-provenance")
@@ -758,4 +904,4 @@ let stats_cmd =
 let () =
   let doc = "why-provenance for Datalog queries (PODS 2024 reproduction)" in
   let info = Cmd.info "whyprov" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ answers_cmd; explain_cmd; batch_cmd; check_cmd; analyze_cmd; member_cmd; tree_cmd; stats_cmd; repl_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ answers_cmd; explain_cmd; batch_cmd; check_cmd; analyze_cmd; profile_cmd; member_cmd; tree_cmd; stats_cmd; repl_cmd ]))

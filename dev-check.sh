@@ -206,6 +206,63 @@ elif command -v jq > /dev/null 2>&1; then
     "$out" > /dev/null
 fi
 
+echo "== profile smoke (rule-level profiler + plan audit, docs/OBSERVABILITY.md)"
+pr1=$(mktemp -t whyprov-prof1.XXXXXX)
+pr2=$(mktemp -t whyprov-prof2.XXXXXX)
+trap 'rm -f "$out" "$b1" "$b2" "$bstats" "$t1" "$t2" "$prog" "$p1" "$p2" "$a1" "$a2" "$pr1" "$pr2"' EXIT
+
+# --profile must not change explain's stdout, and its JSON document
+# must validate (schema, per-rule arithmetic; validate_profile.ml).
+dune exec --no-build bin/whyprov.exe -- \
+  explain examples/reach.dl -q tc -t a,c --profile="$pr1" > "$a1"
+diff test/cli/expected_explain.txt "$a1"
+dune exec --no-build test/cli/validate_profile.exe -- "$pr1"
+
+# batch accumulates all worker fixpoints into one document.
+dune exec --no-build bin/whyprov.exe -- \
+  batch examples/reach.dl -q tc --all --jobs 2 --profile="$pr1" > /dev/null
+dune exec --no-build test/cli/validate_profile.exe -- "$pr1"
+
+# The profile subcommand embeds the estimate-vs-actual audit, and the
+# count-only document is byte-identical whatever --jobs is.
+dune exec --no-build bin/whyprov.exe -- \
+  profile examples/mutual.dl -q even --format json --no-times > "$pr1"
+dune exec --no-build test/cli/validate_profile.exe -- "$pr1" audit
+dune exec --no-build bin/whyprov.exe -- \
+  profile examples/mutual.dl -q even --format json --no-times --jobs 4 > "$pr2"
+diff "$pr1" "$pr2"
+
+echo "== bench regression gate (--check, EXPERIMENTS.md)"
+# Record a fresh baseline over two small workloads, then gate against
+# it: the same run must pass, and an injected 2x slowdown must fail.
+bb=$(mktemp -t whyprov-bench-base.XXXXXX)
+bslow=$(mktemp -t whyprov-bench-slow.XXXXXX)
+trap 'rm -f "$out" "$b1" "$b2" "$bstats" "$t1" "$t2" "$prog" "$p1" "$p2" "$a1" "$a2" "$pr1" "$pr2" "$bb" "$bslow"' EXIT
+dune exec --no-build bench/main.exe -- \
+  --scale 0.05 --stats-out "$bb" engine planner > /dev/null
+dune exec --no-build bench/main.exe -- \
+  --scale 0.05 --check "$bb" engine planner > /dev/null
+
+# Halve every *_s time in the baseline: the (unchanged) fresh run now
+# looks 2x slower than "recorded" and the gate must exit non-zero.
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$bb" "$bslow" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f, open(sys.argv[2], "w") as g:
+    for line in f:
+        row = json.loads(line)
+        for k, v in row.items():
+            if k.endswith("_s") and isinstance(v, (int, float)):
+                row[k] = v / 2.0
+        g.write(json.dumps(row) + "\n")
+PY
+  if dune exec --no-build bench/main.exe -- \
+       --scale 0.05 --check "$bslow" engine planner > /dev/null; then
+    echo "dev-check: bench --check should fail against a 2x-faster baseline" >&2
+    exit 1
+  fi
+fi
+
 echo "== hardening smoke (whyfuzz corpus + seeded fuzz, docs/HARDENING.md)"
 # Every committed corpus instance, across the default config matrix
 # (three solver configs x preprocessing on/off), with every answer

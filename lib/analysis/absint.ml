@@ -648,3 +648,104 @@ let pp_slice ppf s =
     Format.fprintf ppf "irrelevant extensional predicates: %s@,"
       (String.concat ", " (List.map Symbol.name ps)));
   Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* JSON report                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Util.Metrics.Json
+
+let json_schema_version = "whyprov.analyze/1"
+
+let value_json = function
+  | Bot -> Json.Str "bot"
+  | Top -> Json.Str "top"
+  | Consts cs -> Json.List (List.map (fun c -> Json.Str (Symbol.name c)) cs)
+
+let slice_json s =
+  Json.Obj
+    [
+      ("query", Json.Str (Symbol.name s.s_query));
+      ("kept", Json.Num (float_of_int (List.length s.s_kept)));
+      ( "dropped",
+        Json.List
+          (List.map
+             (fun (r, reason) ->
+               Json.Obj
+                 [
+                   ("rule", Json.Str (Rule.to_string r));
+                   ("reason", Json.Str (reason_to_string reason));
+                 ])
+             s.s_dropped) );
+      ( "relevant",
+        Json.List (List.map (fun p -> Json.Str (Symbol.name p)) s.s_relevant)
+      );
+      ( "edb_dropped",
+        Json.List (List.map (fun p -> Json.Str (Symbol.name p)) s.s_edb_dropped)
+      );
+    ]
+
+let to_json ?query t =
+  let preds = Program.schema t.program in
+  let pred_json p =
+    let intensional = not (Program.is_edb t.program p) in
+    let consts =
+      match Hashtbl.find_opt t.consts p with
+      | None -> []
+      | Some vals ->
+        [ ("constants", Json.List (Array.to_list (Array.map value_json vals))) ]
+    in
+    let card =
+      match Stats.find t.card p with
+      | None -> []
+      | Some { Stats.rows; distinct } ->
+        [
+          ("rows", Json.Num rows);
+          ( "distinct",
+            Json.List
+              (Array.to_list (Array.map (fun d -> Json.Num d) distinct)) );
+        ]
+    in
+    Json.Obj
+      ([
+         ("pred", Json.Str (Symbol.name p));
+         ("intensional", Json.Bool intensional);
+         ("derivable", Json.Bool (Hashtbl.mem t.derivable p));
+       ]
+      @ consts @ card)
+  in
+  Json.Obj
+    ([
+       ("schema", Json.Str json_schema_version);
+       ("preds", Json.List (List.map pred_json preds));
+       ( "grounded",
+         Json.List
+           (List.map
+              (fun (p, col, c) ->
+                Json.Obj
+                  [
+                    ("pred", Json.Str (Symbol.name p));
+                    ("col", Json.Num (float_of_int col));
+                    ("const", Json.Str (Symbol.name c));
+                  ])
+              (grounded t)) );
+       ("constant_iterations", Json.Num (float_of_int t.const_iterations));
+     ]
+    @
+    match query with
+    | None -> []
+    | Some q ->
+      [
+        ("query", Json.Str (Symbol.name q));
+        ( "adornments",
+          Json.List
+            (List.map
+               (fun (p, ad) ->
+                 Json.Obj
+                   [
+                     ("pred", Json.Str (Symbol.name p));
+                     ("adornment", Json.Str ad);
+                   ])
+               (adornments t ~query:q)) );
+        ("slice", slice_json (slice t ~query:q));
+      ])

@@ -83,6 +83,17 @@ val pp : Format.formatter -> t -> unit
     empty predicates), as printed by [whyprov analyze]. Intensional
     predicates are marked with [*]. *)
 
+val json_schema_version : string
+(** ["whyprov.analyze/1"], the ["schema"] field of {!to_json}. *)
+
+val to_json : ?query:Symbol.t -> t -> Util.Metrics.Json.t
+(** The versioned machine-readable report emitted by
+    [whyprov analyze --format json] (docs/ANALYSIS.md): per-predicate
+    constant values, derivability and cardinality estimates, the
+    grounded arguments, and — with [query] — the adorned binding
+    patterns and the query-relevance slice. Deterministic (schema
+    order, sorted lists). *)
+
 (** {1 Query-relevance slicing} *)
 
 type reason =

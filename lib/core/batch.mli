@@ -80,6 +80,8 @@ val run :
     materialization to cost-based join ordering
     ({!Datalog.Eval.seminaive}) — per-tuple results are identical
     either way, though member production order within a tuple may
-    differ with the model's iteration order. *)
+    differ with the model's iteration order. The materialization
+    honours {!Datalog.Profile} when enabled — [whyprov batch
+    --profile] reaches the profiler through this call. *)
 
 val pp_status : Format.formatter -> status -> unit

@@ -28,7 +28,9 @@ val build : ?stats:Stats.t -> Program.t -> Database.t -> Fact.t -> t
     downward closure of [root]. If [root ∉ Σ(D)], the closure contains
     the root node only and no hyperedges. [stats] selects cost-based
     join ordering for the materialization (see {!Datalog.Eval.seminaive});
-    the closure is identical either way. *)
+    the closure is identical either way. The materialization honours
+    {!Datalog.Profile} when enabled — [whyprov explain --profile]
+    reaches the profiler through this call. *)
 
 val build_with_model : Program.t -> model:Database.t -> Database.t -> Fact.t -> t
 (** Same, reusing an already materialized model. *)

@@ -183,13 +183,25 @@ type task_stats = {
   mutable s_hits : int;
 }
 
-type task = { t_plan : Plan.t; t_out : Flatrel.t; t_stats : task_stats }
+type task = {
+  t_plan : Plan.t;
+  t_out : Flatrel.t;
+  t_stats : task_stats;
+  t_prof : Profile.task option;
+      (* per-instruction match counts and accepted-row count for the
+         profiler; [None] unless profiling was on when the fixpoint
+         started, so the disabled engine carries only this one word *)
+}
 
-let make_task plan =
+let make_task profiling plan =
   {
     t_plan = plan;
     t_out = Flatrel.create ~arity:(Array.length plan.Plan.p_head);
     t_stats = { s_tuples = 0; s_probes = 0; s_scans = 0; s_hits = 0 };
+    t_prof =
+      (if profiling then
+         Some (Profile.task_create (Array.length plan.Plan.p_instrs))
+       else None);
   }
 
 (* Run one compiled plan. [model] holds one relation per schema
@@ -221,16 +233,27 @@ let run_task ~model ~limits ~ranges ~direct task =
     done
   in
   let emit =
-    if direct then fun () ->
-      (* One combined lookup-or-insert; duplicates of both older rounds
-         and this round's earlier emissions are rejected by the row
-         table, and the indexes stay frozen until the round boundary. *)
-      ground_head ();
-      ignore (Flatrel.append model_head hbuf 0)
-    else fun () ->
-      ground_head ();
-      if not (Flatrel.mem model_head hbuf 0) then
-        ignore (Flatrel.append out hbuf 0)
+    match (direct, task.t_prof) with
+    | true, None ->
+      fun () ->
+        (* One combined lookup-or-insert; duplicates of both older
+           rounds and this round's earlier emissions are rejected by the
+           row table, and the indexes stay frozen until the round
+           boundary. *)
+        ground_head ();
+        ignore (Flatrel.append model_head hbuf 0)
+    | true, Some tp ->
+      fun () ->
+        ground_head ();
+        if Flatrel.append model_head hbuf 0 then
+          tp.Profile.new_rows <- tp.Profile.new_rows + 1
+    | false, _ ->
+      (* Parallel tasks cannot see which rows the merge will accept;
+         [merge] credits [new_rows] as it replays the task output. *)
+      fun () ->
+        ground_head ();
+        if not (Flatrel.mem model_head hbuf 0) then
+          ignore (Flatrel.append out hbuf 0)
   in
   (* Compile the instruction array, last to first, into a chain of
      closures built once per task: the per-row checks close only over
@@ -239,7 +262,19 @@ let run_task ~model ~limits ~ranges ~direct task =
   let rec build i =
     if i = n then emit
     else begin
-      let next = build (i + 1) in
+      let next =
+        (* Count tuples matched per instruction by wrapping the chain
+           link once at build time — the disabled engine keeps the
+           unwrapped closure and pays nothing per row. *)
+        match task.t_prof with
+        | None -> build (i + 1)
+        | Some tp ->
+          let next0 = build (i + 1) in
+          let out = tp.Profile.out in
+          fun () ->
+            out.(i) <- out.(i) + 1;
+            next0 ()
+      in
       let ins = instrs.(i) in
       match Hashtbl.find_opt model ins.Plan.i_pred with
       | None -> fun () -> ()
@@ -407,13 +442,21 @@ let seminaive ?ranks ?(jobs = 1) ?stats program db =
   let full_plans =
     Array.map (fun r -> Plan.compile ?stats program r ~delta:(-1)) rules
   in
+  let sccs = strata program in
   let stratum_of =
     let h : (Symbol.t, int) Hashtbl.t = Hashtbl.create 16 in
     List.iteri
       (fun i scc -> List.iter (fun p -> Hashtbl.replace h p i) scc)
-      (strata program);
+      sccs;
     fun p -> match Hashtbl.find_opt h p with Some i -> i | None -> 0
   in
+  (* The profiler flag is sampled once per fixpoint: every task of this
+     run either carries a profile buffer or none do. *)
+  let prof_run =
+    if Profile.is_enabled () then Some (Profile.run_begin program sccs)
+    else None
+  in
+  let profiling = prof_run <> None in
   let delta_plans =
     let acc = ref [] in
     Array.iter
@@ -479,7 +522,16 @@ let seminaive ?ranks ?(jobs = 1) ?stats program db =
   let derived_total = ref 0 in
   let run_tasks tasks ranges =
     let ntasks = Array.length tasks in
-    let work i = run_task ~model ~limits ~ranges ~direct tasks.(i) in
+    let work =
+      if profiling then fun i ->
+        let t = tasks.(i) in
+        let t0 = Profile.now_s () in
+        run_task ~model ~limits ~ranges ~direct t;
+        match t.t_prof with
+        | Some tp -> tp.Profile.secs <- tp.Profile.secs +. (Profile.now_s () -. t0)
+        | None -> ()
+      else fun i -> run_task ~model ~limits ~ranges ~direct tasks.(i)
+    in
     (match pool with
     | None ->
       for i = 0 to ntasks - 1 do
@@ -514,9 +566,20 @@ let seminaive ?ranks ?(jobs = 1) ?stats program db =
           if Flatrel.length out > 0 then begin
             let model_rel = Hashtbl.find model t.t_plan.Plan.p_head_pred in
             let buf = Array.make (max (Flatrel.arity out) 1) 0 in
-            Flatrel.iter out (fun row ->
-                Flatrel.read_row out row buf 0;
-                ignore (Flatrel.append model_rel buf 0))
+            match t.t_prof with
+            | None ->
+              Flatrel.iter out (fun row ->
+                  Flatrel.read_row out row buf 0;
+                  ignore (Flatrel.append model_rel buf 0))
+            | Some tp ->
+              (* The replay walks tasks in task order whatever [jobs]
+                 was, so crediting accepted rows here gives every task
+                 the same [new_rows] a sequential run would — profiles
+                 stay deterministic across pool sizes. *)
+              Flatrel.iter out (fun row ->
+                  Flatrel.read_row out row buf 0;
+                  if Flatrel.append model_rel buf 0 then
+                    tp.Profile.new_rows <- tp.Profile.new_rows + 1)
           end)
         tasks;
     let ranges : (Symbol.t, int * int) Hashtbl.t = Hashtbl.create 8 in
@@ -555,13 +618,33 @@ let seminaive ?ranks ?(jobs = 1) ?stats program db =
       Tracing.counter "eval.delta" [ ("facts", float_of_int !total) ];
     (ranges, !total)
   in
+  (* Fold the round's tasks into the profile run — after the merge, so
+     the parallel tasks' [new_rows] have settled. *)
+  let profile_round tasks (ranges, _total) =
+    match prof_run with
+    | None -> ()
+    | Some run ->
+      Array.iter
+        (fun t ->
+          match t.t_prof with
+          | Some tp ->
+            let s = t.t_stats in
+            Profile.record_task run t.t_plan tp ~probes:s.s_probes
+              ~hits:s.s_hits ~scans:s.s_scans
+          | None -> ())
+        tasks;
+      Profile.record_round run
+        (Hashtbl.fold
+           (fun p (lo, hi) acc -> (p, hi - lo) :: acc)
+           ranges [])
+  in
   let finally () = Option.iter pool_shutdown pool in
   Fun.protect ~finally @@ fun () ->
   Symbol.with_frozen @@ fun () ->
   (* Round 1: full evaluation of every rule over the database. *)
   let empty : (Symbol.t, int * int) Hashtbl.t = Hashtbl.create 1 in
   snapshot ();
-  let tasks1 = Array.map make_task full_plans in
+  let tasks1 = Array.map (make_task profiling) full_plans in
   round_span 1 (fun () -> run_tasks tasks1 empty);
   Metrics.incr m_rounds;
   List.iter
@@ -571,15 +654,18 @@ let seminaive ?ranks ?(jobs = 1) ?stats program db =
       | None -> ())
     full_only_cols;
   let delta = ref (merge 1 tasks1) in
+  profile_round tasks1 !delta;
   let round = ref 2 in
   while snd !delta > 0 do
     snapshot ();
-    let tasks = Array.map make_task delta_plans in
+    let tasks = Array.map (make_task profiling) delta_plans in
     round_span !round (fun () -> run_tasks tasks (fst !delta));
     Metrics.incr m_rounds;
     delta := merge !round tasks;
+    profile_round tasks !delta;
     incr round
   done;
+  Option.iter Profile.run_end prof_run;
   (* Materialize the model database once, pre-sized to its exact final
      cardinality: first the database's own facts in structural-engine
      order, then each relation's derived rows in append order — the

@@ -46,4 +46,11 @@ val seminaive :
     byte-stable output across plan modes must compare sorted.
     Interning is frozen for the duration of the fixpoint
     ({!Symbol.set_frozen}): evaluation only rearranges already-interned
-    symbols, and worker domains must never touch the intern table. *)
+    symbols, and worker domains must never touch the intern table.
+
+    When {!Profile.is_enabled} is true at call time, every task of the
+    run additionally records per-rule / per-atom / per-SCC attribution
+    into the accumulated profile (see {!Profile}); the counts are
+    deterministic across [jobs] because workers only fill task-local
+    buffers and the coordinator folds them in task order after each
+    round's merge. *)

@@ -40,7 +40,9 @@ val seminaive :
     rule tasks across that many domains without changing any result;
     [stats] switches the compiled join plans to cost-based ordering
     (same model and ranks, possibly different model iteration order —
-    see {!Engine.seminaive}). *)
+    see {!Engine.seminaive}). When {!Profile.is_enabled} is true at
+    call time, the run contributes per-rule / per-atom / per-SCC
+    attribution to the accumulated profile ({!Profile.snapshot}). *)
 
 val seminaive_structural :
   ?ranks:int Fact.Table.t -> Program.t -> Database.t -> Database.t
