@@ -16,6 +16,7 @@ let m_fixed = Metrics.counter "preprocess.fixed_vars"
 let m_subsumed = Metrics.counter "preprocess.subsumed_clauses"
 let m_strengthened = Metrics.counter "preprocess.strengthened_clauses"
 let m_failed = Metrics.counter "preprocess.failed_literals"
+let m_equivalent = Metrics.counter "preprocess.equivalent_vars"
 let m_resolvents = Metrics.counter "preprocess.resolvents"
 let m_rounds = Metrics.histogram "preprocess.rounds"
 let m_stack_depth = Metrics.histogram "preprocess.stack_depth"
@@ -25,6 +26,7 @@ type config = {
   self_subsumption : bool;
   bve : bool;
   probing : bool;
+  big : bool;
   bve_growth : int;
   bve_max_occ : int;
   bve_max_elim : int;
@@ -38,6 +40,7 @@ let default =
     self_subsumption = true;
     bve = true;
     probing = true;
+    big = true;
     bve_growth = 0;
     bve_max_occ = 400;
     bve_max_elim = max_int;
@@ -56,6 +59,7 @@ type stats = {
   subsumed_clauses : int;
   strengthened_clauses : int;
   failed_literals : int;
+  equivalent_vars : int;
   resolvents_added : int;
   rounds : int;
 }
@@ -96,6 +100,7 @@ type t = {
   mutable n_subsumed : int;
   mutable n_strengthened : int;
   mutable n_failed : int;
+  mutable n_equivalent : int;
   mutable n_resolvents : int;
   mutable n_rounds : int;
   (* probing scratch: epoch-stamped temporary assignment *)
@@ -410,6 +415,211 @@ let probe_pass t =
     incr v
   done
 
+(* --- Binary-implication-graph equivalent-literal substitution ---------- *)
+
+(* The 2-clause implication graph: a binary clause (a ∨ b) contributes
+   the edges ¬a → b and ¬b → a. Literals in one strongly connected
+   component are pairwise equivalent; the components come in mirrored
+   pairs (the SCC of the negations), and a component containing both a
+   literal and its negation refutes the formula. Every non-frozen,
+   non-representative variable of a component is substituted away:
+   its occurrences are rewritten to the representative literal and the
+   variable joins the reconstruction stack, exactly like a BVE
+   elimination (the saved clause [v ∨ ¬r] makes [extend_model] copy
+   r's value back into v). This is the twosat-style simplification the
+   roadmap names; it feeds BVE smaller, more connected clauses. *)
+
+(* Iterative Tarjan over the literal graph. Returns the SCC id of each
+   literal (ids assigned in a deterministic order) or [||] when there
+   are no binary clauses at all. *)
+let literal_sccs nlits adj =
+  let index = Array.make nlits (-1) in
+  let lowlink = Array.make nlits 0 in
+  let on_stack = Array.make nlits false in
+  let comp = Array.make nlits (-1) in
+  let stack = Vec.create () in
+  let next_index = ref 0 and next_comp = ref 0 in
+  (* Explicit DFS stack of (literal, next-adjacency-offset). *)
+  let frames = Vec.create () in
+  let push_lit l =
+    index.(l) <- !next_index;
+    lowlink.(l) <- !next_index;
+    incr next_index;
+    Vec.push stack l;
+    on_stack.(l) <- true;
+    Vec.push frames (l, 0)
+  in
+  for root = 0 to nlits - 1 do
+    if index.(root) = -1 && adj.(root) <> [] then begin
+      push_lit root;
+      while not (Vec.is_empty frames) do
+        let l, k = Vec.pop frames in
+        let succs = adj.(l) in
+        let n = List.length succs in
+        if k < n then begin
+          let s = List.nth succs k in
+          Vec.push frames (l, k + 1);
+          if index.(s) = -1 then push_lit s
+          else if on_stack.(s) then
+            lowlink.(l) <- min lowlink.(l) index.(s)
+        end
+        else begin
+          if lowlink.(l) = index.(l) then begin
+            let continue_pop = ref true in
+            while !continue_pop do
+              let w = Vec.pop stack in
+              on_stack.(w) <- false;
+              comp.(w) <- !next_comp;
+              if w = l then continue_pop := false
+            done;
+            incr next_comp
+          end;
+          if not (Vec.is_empty frames) then begin
+            let p, pk = Vec.pop frames in
+            lowlink.(p) <- min lowlink.(p) lowlink.(l);
+            Vec.push frames (p, pk)
+          end
+        end
+      done
+    end
+  done;
+  (comp, !next_comp)
+
+(* Substitute literal [from_l] by [to_l] in every clause that contains
+   it (and symmetrically ¬from_l by ¬to_l). The rewritten clause is RUP
+   against the original plus the equivalence binary (¬from_l ∨ to_l) /
+   (from_l ∨ ¬to_l), which the caller has already logged. *)
+let substitute_literal t from_l to_l =
+  List.iter
+    (fun (src, dst) ->
+      occ_iter t src (fun c ->
+          let rewritten =
+            Array.to_list c.lits
+            |> List.map (fun x -> if x = src then dst else x)
+          in
+          (match normalize rewritten with
+          | None -> () (* tautology: the original just disappears *)
+          | Some [||] -> refute t
+          | Some [| u |] ->
+            log_add t [| u |];
+            push_unit t u
+          | Some arr -> new_clause t ~log:true arr);
+          c.deleted <- true;
+          log_delete t c.lits);
+      Vec.clear t.occ.(src))
+    [ (from_l, to_l); (Lit.negate from_l, Lit.negate to_l) ]
+
+let big_pass t =
+  let nlits = 2 * t.nvars in
+  if nlits = 0 then ()
+  else begin
+    (* Adjacency lists from the live binary clauses, in arena order so
+       the SCC decomposition (and hence the substitution choices) is
+       deterministic. *)
+    let adj = Array.make nlits [] in
+    let any = ref false in
+    Vec.iter
+      (fun c ->
+        if (not c.deleted) && Array.length c.lits = 2 then begin
+          let a = c.lits.(0) and b = c.lits.(1) in
+          adj.(Lit.negate a) <- b :: adj.(Lit.negate a);
+          adj.(Lit.negate b) <- a :: adj.(Lit.negate b);
+          any := true
+        end)
+      t.arena;
+    if !any then begin
+      for l = 0 to nlits - 1 do
+        adj.(l) <- List.rev adj.(l)
+      done;
+      let comp, ncomp = literal_sccs nlits adj in
+      if ncomp > 0 then begin
+        (* Group the literals of each component, in literal order. *)
+        let members = Array.make ncomp [] in
+        for l = nlits - 1 downto 0 do
+          if comp.(l) >= 0 then members.(comp.(l)) <- l :: members.(comp.(l))
+        done;
+        (* A component holding both polarities of one variable refutes
+           the formula: both units are RUP along the implication cycle,
+           and together they give the empty clause. *)
+        let contradicted = ref false in
+        Array.iter
+          (fun lits ->
+            if not !contradicted then
+              List.iter
+                (fun l ->
+                  if (not !contradicted) && List.mem (Lit.negate l) lits
+                  then begin
+                    contradicted := true;
+                    log_add t [| Lit.negate l |];
+                    log_add t [| l |];
+                    refute t
+                  end)
+                lits)
+          members;
+        if not !contradicted then begin
+          (* Plan the substitutions component by component: the
+             representative is the smallest frozen literal when the
+             component has one (frozen variables must survive), the
+             smallest literal otherwise. Each variable is handled at
+             its positive literal only — the mirror component repeats
+             the same equivalences negated. *)
+          let plan = ref [] in
+          Array.iter
+            (fun lits ->
+              match lits with
+              | [] | [ _ ] -> ()
+              | _ ->
+                let live l =
+                  let v = Lit.var l in
+                  t.assigns.(v) = v_undef && not t.eliminated.(v)
+                in
+                let lits = List.filter live lits in
+                let frozen_lits = List.filter (fun l -> t.frozen (Lit.var l)) lits in
+                let rep =
+                  match frozen_lits with f :: _ -> f | [] -> (
+                    match lits with r :: _ -> r | [] -> -1)
+                in
+                if rep >= 0 then
+                  List.iter
+                    (fun l ->
+                      if
+                        Lit.sign l (* positive occurrence: var handled once *)
+                        && l <> rep
+                        && Lit.var l <> Lit.var rep
+                        && not (t.frozen (Lit.var l))
+                      then plan := (l, rep) :: !plan)
+                    lits)
+            members;
+          let plan = List.rev !plan in
+          (* Log every equivalence binary first, while the implication
+             chains justifying them are all still present; then rewrite
+             clause by clause (each rewrite is RUP against its original
+             plus the pre-logged binaries). *)
+          List.iter
+            (fun (l, r) ->
+              log_add t [| Lit.negate l; r |];
+              log_add t [| l; Lit.negate r |])
+            plan;
+          List.iter
+            (fun (l, r) ->
+              if not t.unsat then begin
+                let v = Lit.var l in
+                (* v's value is r's under the replay of [extend_model]:
+                   the saved positive-occurrence clause [v ∨ ¬r] forces
+                   v exactly when r is true. *)
+                t.stack <- (v, [ [| l; Lit.negate r |] ]) :: t.stack;
+                substitute_literal t l r;
+                t.eliminated.(v) <- true;
+                t.n_equivalent <- t.n_equivalent + 1;
+                t.changed <- true;
+                propagate_units t
+              end)
+            plan
+        end
+      end
+    end
+  end
+
 (* --- Bounded variable elimination -------------------------------------- *)
 
 let resolve_on v c d =
@@ -532,6 +742,7 @@ let simplify ?(config = default) ?(drat = false) ~nvars ~frozen clauses =
       n_subsumed = 0;
       n_strengthened = 0;
       n_failed = 0;
+      n_equivalent = 0;
       n_resolvents = 0;
       n_rounds = 0;
       tparity = Array.make (max 1 nvars) 0;
@@ -560,6 +771,7 @@ let simplify ?(config = default) ?(drat = false) ~nvars ~frozen clauses =
     t.changed <- false;
     if t.cfg.subsumption || t.cfg.self_subsumption then subsumption_pass t;
     if (not t.unsat) && t.cfg.probing then probe_pass t;
+    if (not t.unsat) && t.cfg.big then big_pass t;
     if (not t.unsat) && t.cfg.bve then bve_pass t;
     propagate_units t;
     continue_ := t.changed && not t.unsat
@@ -568,6 +780,7 @@ let simplify ?(config = default) ?(drat = false) ~nvars ~frozen clauses =
   Metrics.add m_subsumed t.n_subsumed;
   Metrics.add m_strengthened t.n_strengthened;
   Metrics.add m_failed t.n_failed;
+  Metrics.add m_equivalent t.n_equivalent;
   Metrics.add m_resolvents t.n_resolvents;
   Metrics.observe_int m_rounds t.n_rounds;
   Metrics.observe_int m_stack_depth t.n_eliminated;
@@ -642,6 +855,7 @@ let stats t =
     subsumed_clauses = t.n_subsumed;
     strengthened_clauses = t.n_strengthened;
     failed_literals = t.n_failed;
+    equivalent_vars = t.n_equivalent;
     resolvents_added = t.n_resolvents;
     rounds = t.n_rounds;
   }
@@ -651,6 +865,7 @@ let proof t = match t.drat with Some b -> Buffer.contents b | None -> ""
 let pp_stats ppf s =
   Format.fprintf ppf
     "%d -> %d clauses (%d literals), %d eliminated, %d fixed, %d subsumed, %d \
-     strengthened, %d failed literals, %d rounds"
+     strengthened, %d failed literals, %d equivalent, %d rounds"
     s.original_clauses s.clauses s.literals s.eliminated_vars s.fixed_vars
-    s.subsumed_clauses s.strengthened_clauses s.failed_literals s.rounds
+    s.subsumed_clauses s.strengthened_clauses s.failed_literals s.equivalent_vars
+    s.rounds

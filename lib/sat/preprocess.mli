@@ -9,6 +9,12 @@
       signatures as a cheap subset pre-filter;
     - {b failed-literal probing}: assume a literal, propagate; a
       conflict yields the negated literal as a top-level unit;
+    - {b equivalent-literal substitution}: strongly connected
+      components of the binary-implication graph (the 2-clause
+      digraph with edges [¬a → b] and [¬b → a] per clause [a ∨ b])
+      are literal equivalence classes; every class is collapsed onto
+      one representative (a frozen literal when the class contains
+      one), rewriting all occurrences, before BVE sees the formula;
     - {b bounded variable elimination} (BVE) by clause distribution:
       a variable is resolved away when the set of non-tautological
       resolvents is no larger than the set of clauses it replaces
@@ -52,6 +58,9 @@ type config = {
   self_subsumption : bool;  (** self-subsuming resolution (strengthening) *)
   bve : bool;               (** bounded variable elimination *)
   probing : bool;           (** failed-literal probing *)
+  big : bool;
+      (** equivalent-literal substitution over the binary-implication
+          graph (SCC collapse), run after probing, before BVE *)
   bve_growth : int;
       (** extra clauses an elimination may add beyond the clauses it
           removes (SatELite uses 0) *)
@@ -80,6 +89,9 @@ type stats = {
   subsumed_clauses : int;
   strengthened_clauses : int;  (** self-subsumption hits *)
   failed_literals : int;
+  equivalent_vars : int;
+      (** variables substituted away by binary-implication-graph SCC
+          collapse (counted into the reconstruction stack like BVE) *)
   resolvents_added : int;
   rounds : int;             (** rounds actually run *)
 }

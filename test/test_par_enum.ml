@@ -1,0 +1,262 @@
+(* Intra-tuple parallel enumeration (Enumerate.Par): cube-and-conquer
+   and portfolio must produce exactly the sequential why-sets,
+   order-normalized, at every jobs count — the determinism contract of
+   ISSUE 10 — and the modes must reject the options whose soundness
+   arguments do not survive splitting. *)
+
+module D = Datalog
+module P = Provenance
+
+let parse_program src = fst (D.Parser.program_of_string src)
+
+let tc_program = parse_program {|
+  tc(X,Y) :- edge(X,Y).
+  tc(X,Z) :- tc(X,Y), edge(Y,Z).
+|}
+
+let fact = D.Fact.of_strings
+
+let gen_graph_db =
+  QCheck.Gen.(
+    let* n_edges = int_range 1 7 in
+    list_repeat n_edges
+      (let* x = oneofa [| "b0"; "b1"; "b2"; "b3" |] in
+       let* y = oneofa [| "b0"; "b1"; "b2"; "b3" |] in
+       return (fact "edge" [ x; y ])))
+
+let arb_graph_db =
+  QCheck.make gen_graph_db ~print:(fun facts ->
+      String.concat " " (List.map D.Fact.to_string facts))
+
+(* Order-normalized sequential reference. *)
+let sequential_members program db goal =
+  List.sort D.Fact.Set.compare
+    (P.Enumerate.to_list (P.Enumerate.create program db goal))
+
+let answers program db pred =
+  let model = D.Eval.seminaive program db in
+  let acc = ref [] in
+  D.Database.iter_pred model (D.Symbol.intern pred) (fun f -> acc := f :: !acc);
+  List.sort D.Fact.compare !acc
+
+(* Keep the per-case work bounded: a handful of goals is enough to hit
+   derivable and exhausted cubes alike. *)
+let some_answers program db pred =
+  List.filteri (fun i _ -> i < 3) (answers program db pred)
+
+let same_sets a b =
+  List.length a = List.length b && List.for_all2 D.Fact.Set.equal a b
+
+let check_par_equals_sequential ~mode ~cube_vars db =
+  List.for_all
+    (fun goal ->
+      let expected = sequential_members tc_program db goal in
+      List.for_all
+        (fun jobs ->
+          let par =
+            P.Enumerate.Par.create ~mode ~cube_vars ~jobs tc_program db goal
+          in
+          same_sets expected (P.Enumerate.Par.to_list par))
+        [ 1; 2; 4 ])
+    (some_answers tc_program db "tc")
+
+let prop_cube_equals_sequential =
+  QCheck.Test.make ~count:20
+    ~name:"cube jobs∈{1,2,4} = sequential why-sets (order-normalized)"
+    arb_graph_db (fun facts ->
+      let db = D.Database.of_list facts in
+      check_par_equals_sequential ~mode:P.Enumerate.Par.Cube ~cube_vars:2 db)
+
+let prop_cube_k3_equals_sequential =
+  QCheck.Test.make ~count:10
+    ~name:"cube with k=3 (8 cubes) = sequential why-sets" arb_graph_db
+    (fun facts ->
+      let db = D.Database.of_list facts in
+      check_par_equals_sequential ~mode:P.Enumerate.Par.Cube ~cube_vars:3 db)
+
+let prop_portfolio_equals_sequential =
+  QCheck.Test.make ~count:15
+    ~name:"portfolio jobs∈{1,2,4} = sequential why-sets" arb_graph_db
+    (fun facts ->
+      let db = D.Database.of_list facts in
+      check_par_equals_sequential ~mode:P.Enumerate.Par.Portfolio ~cube_vars:0
+        db)
+
+(* Against the powerset brute force, so the parallel modes are not just
+   consistent with the sequential enumerator but with the definition. *)
+let gen_tiny_graph_db =
+  QCheck.Gen.(
+    let* n_edges = int_range 1 4 in
+    list_repeat n_edges
+      (let* x = oneofa [| "b0"; "b1"; "b2" |] in
+       let* y = oneofa [| "b0"; "b1"; "b2" |] in
+       return (fact "edge" [ x; y ])))
+
+let arb_tiny_graph_db =
+  QCheck.make gen_tiny_graph_db ~print:(fun facts ->
+      String.concat " " (List.map D.Fact.to_string facts))
+
+let prop_cube_matches_powerset_oracle =
+  QCheck.Test.make ~count:15 ~name:"cube members = powerset oracle (tiny)"
+    arb_tiny_graph_db (fun facts ->
+      let db = D.Database.of_list facts in
+      List.for_all
+        (fun goal ->
+          let oracle = Reference_oracle.why_un_powerset tc_program db goal in
+          let par =
+            P.Enumerate.Par.create ~mode:P.Enumerate.Par.Cube ~cube_vars:2
+              ~jobs:2 tc_program db goal
+          in
+          same_sets oracle (P.Enumerate.Par.to_list par))
+        (some_answers tc_program db "tc"))
+
+(* --- Budgeted enumeration: total-work budget, deterministic ------------- *)
+
+let test_budget_total_and_deterministic () =
+  (* A 3SAT reduction makes the solver conflict, so a 1-conflict total
+     budget must produce Gave_up rounds; draining must still reach
+     exactly the sequential member set, and two identical runs must
+     produce identical member sequences (cube rounds are
+     barrier-deterministic). *)
+  let cnf = [ [ 1; 2; 3 ]; [ -1; -2; 3 ]; [ 1; -2; -3 ]; [ -1; 2; -3 ] ] in
+  let inst = P.Reductions.of_3sat ~nvars:3 cnf in
+  let expected =
+    List.sort D.Fact.Set.compare
+      (P.Enumerate.to_list
+         (P.Enumerate.create ~preprocess:false inst.P.Reductions.program
+            inst.P.Reductions.database inst.P.Reductions.goal))
+  in
+  let drain () =
+    let par =
+      P.Enumerate.Par.create ~preprocess:false ~mode:P.Enumerate.Par.Cube
+        ~cube_vars:2 ~jobs:2 inst.P.Reductions.program
+        inst.P.Reductions.database inst.P.Reductions.goal
+    in
+    let gave_ups = ref 0 in
+    let members = ref [] in
+    let rec loop () =
+      match P.Enumerate.Par.next_limited ~conflict_budget:1 par with
+      | `Gave_up ->
+        incr gave_ups;
+        loop ()
+      | `Member m ->
+        members := m :: !members;
+        loop ()
+      | `Exhausted -> ()
+    in
+    loop ();
+    (List.rev !members, !gave_ups)
+  in
+  let members1, gave_ups = drain () in
+  let members2, _ = drain () in
+  Alcotest.(check bool) "budget actually bit" true (gave_ups > 0);
+  Alcotest.(check bool) "members = sequential set" true
+    (same_sets expected (List.sort D.Fact.Set.compare members1));
+  Alcotest.(check bool) "two runs produce the same sequence" true
+    (same_sets members1 members2)
+
+let test_portfolio_budget () =
+  let cnf = [ [ 1; 2; 3 ]; [ -1; -2; 3 ]; [ 1; -2; -3 ]; [ -1; 2; -3 ] ] in
+  let inst = P.Reductions.of_3sat ~nvars:3 cnf in
+  let expected =
+    List.sort D.Fact.Set.compare
+      (P.Enumerate.to_list
+         (P.Enumerate.create ~preprocess:false inst.P.Reductions.program
+            inst.P.Reductions.database inst.P.Reductions.goal))
+  in
+  let par =
+    P.Enumerate.Par.create ~preprocess:false ~mode:P.Enumerate.Par.Portfolio
+      ~jobs:2 inst.P.Reductions.program inst.P.Reductions.database
+      inst.P.Reductions.goal
+  in
+  let members = ref [] in
+  let rec loop () =
+    match P.Enumerate.Par.next_limited ~conflict_budget:8 par with
+    | `Gave_up -> loop ()
+    | `Member m ->
+      members := m :: !members;
+      loop ()
+    | `Exhausted -> ()
+  in
+  loop ();
+  Alcotest.(check bool) "portfolio budgeted drain = sequential set" true
+    (same_sets expected (List.sort D.Fact.Set.compare !members))
+
+(* --- Unsupported options are rejected, not silently wrong --------------- *)
+
+let test_rejects_unsupported () =
+  let db = D.Database.of_list [ fact "edge" [ "b0"; "b1" ] ] in
+  let goal = fact "tc" [ "b0"; "b1" ] in
+  Alcotest.check_raises "smallest_first rejected"
+    (Invalid_argument "Enumerate.Par: smallest_first is not supported")
+    (fun () ->
+      ignore (P.Enumerate.Par.create ~smallest_first:true tc_program db goal));
+  Alcotest.check_raises "minimize_blocking rejected"
+    (Invalid_argument "Enumerate.Par: minimize_blocking is not supported")
+    (fun () ->
+      ignore (P.Enumerate.Par.create ~minimize_blocking:true tc_program db goal));
+  Alcotest.check_raises "batch rejects minimize with enum_mode"
+    (Invalid_argument
+       "Batch.run: minimize_blocking is not supported with a parallel \
+        enumeration mode")
+    (fun () ->
+      ignore
+        (P.Batch.run ~minimize_blocking:true ~enum_mode:P.Enumerate.Par.Cube
+           tc_program db (P.Batch.Facts [ goal ])))
+
+(* --- Two-level Batch scheduler ------------------------------------------ *)
+
+let test_batch_two_level () =
+  (* With a parallel mode and no caller budget, every status must come
+     back Complete (phase 2 runs stragglers to completion) and member
+     sets must equal the sequential batch, order-normalized, for every
+     jobs count. *)
+  let db =
+    D.Database.of_list
+      (List.map
+         (fun (x, y) -> fact "edge" [ x; y ])
+         [ ("b0", "b1"); ("b1", "b2"); ("b0", "b2"); ("b2", "b3"); ("b3", "b0") ])
+  in
+  let spec = P.Batch.All_answers (D.Symbol.intern "tc") in
+  let reference = P.Batch.run ~jobs:1 tc_program db spec in
+  List.iter
+    (fun jobs ->
+      let par =
+        P.Batch.run ~jobs ~enum_mode:P.Enumerate.Par.Cube ~cube_vars:2
+          tc_program db spec
+      in
+      Alcotest.(check int)
+        "same tuple count"
+        (List.length reference.P.Batch.results)
+        (List.length par.P.Batch.results);
+      List.iter2
+        (fun (r : P.Batch.result) (p : P.Batch.result) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "tuple %s agrees (jobs %d)"
+               (D.Fact.to_string r.P.Batch.fact) jobs)
+            true
+            (D.Fact.equal r.P.Batch.fact p.P.Batch.fact
+            && p.P.Batch.status = P.Batch.Complete
+            && same_sets
+                 (List.sort D.Fact.Set.compare r.P.Batch.members)
+                 (List.sort D.Fact.Set.compare p.P.Batch.members)))
+        reference.P.Batch.results par.P.Batch.results)
+    [ 1; 2; 4 ]
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "par-enum",
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_cube_equals_sequential;
+        prop_cube_k3_equals_sequential;
+        prop_portfolio_equals_sequential;
+        prop_cube_matches_powerset_oracle;
+      ]
+    @ [
+        tc "total budget, deterministic rounds" `Quick
+          test_budget_total_and_deterministic;
+        tc "portfolio budgeted drain" `Quick test_portfolio_budget;
+        tc "unsupported options rejected" `Quick test_rejects_unsupported;
+        tc "batch two-level scheduler" `Quick test_batch_two_level;
+      ] )
